@@ -1,0 +1,108 @@
+// Command mfgcp regenerates the tables and figures of the MFG-CP paper
+// (ICDE 2024) from this repository's reproduction.
+//
+// Usage:
+//
+//	mfgcp list                 list available experiments
+//	mfgcp all [flags]          run every experiment
+//	mfgcp <id> [flags]         run one experiment (fig3..fig14, table2)
+//
+// Flags:
+//
+//	-quick        shrink grids/populations for a fast smoke run
+//	-seed N       RNG seed (default 1)
+//	-csv DIR      also write every table/series as CSV files into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mfgcp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing experiment id")
+	}
+	cmd := args[0]
+	switch cmd {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	case "solve":
+		return solveCmd(args[1:])
+	case "market":
+		return marketCmd(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+
+	fs := flag.NewFlagSet("mfgcp", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink grids/populations for a fast run")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	csvDir := fs.String("csv", "", "write CSV artefacts into this directory")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+
+	if cmd == "all" {
+		for _, id := range experiments.IDs() {
+			if err := runOne(id, opt, *csvDir); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(cmd, opt, *csvDir)
+}
+
+func runOne(id string, opt experiments.Options, csvDir string) error {
+	start := time.Now()
+	rep, err := experiments.Run(id, opt)
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\n[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	if csvDir != "" {
+		if err := rep.WriteCSV(csvDir); err != nil {
+			return err
+		}
+		fmt.Printf("[CSV artefacts written to %s]\n", csvDir)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `mfgcp — reproduce the MFG-CP paper's evaluation
+
+usage:
+  mfgcp list                 list available experiments
+  mfgcp all [flags]          run every experiment
+  mfgcp <id> [flags]         run one experiment (e.g. fig5, table2)
+  mfgcp solve [flags]        solve one custom equilibrium (see solve -h)
+  mfgcp market [flags]       run one agent-based market (see market -h)
+
+flags:
+  -quick      fast smoke run (smaller grids and populations)
+  -seed N     RNG seed (default 1)
+  -csv DIR    also write CSV artefacts into DIR
+`)
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	mfgcp "repro"
+	"repro/internal/metrics"
+)
+
+// solveCmd implements `mfgcp solve`: one custom equilibrium solve with
+// parameter overrides from flags, a text summary, optional CSV dumps of the
+// strategy surface / density marginal / price path, and an optional gob
+// archive for reuse via the warm-start machinery.
+func solveCmd(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	requests := fs.Float64("requests", 10, "request load |I_k| per epoch")
+	pop := fs.Float64("pop", 0.3, "content popularity Π_k in [0,1]")
+	timeliness := fs.Float64("timeliness", 2, "content timeliness L_k")
+	qk := fs.Float64("qk", 0, "content size Qk in MB (0 keeps the default)")
+	eta1 := fs.Float64("eta1", 0, "supply→price conversion η1 (0 keeps the default)")
+	eta2 := fs.Float64("eta2", 0, "delay→cost conversion η2 (0 keeps the default)")
+	initMean := fs.Float64("init-mean", 0, "initial λ(0) mean fraction in (0,1] (0 keeps the default)")
+	nh := fs.Int("nh", 0, "h-grid nodes (0 keeps the default)")
+	nq := fs.Int("nq", 0, "q-grid nodes (0 keeps the default)")
+	steps := fs.Int("steps", 0, "time steps (0 keeps the default)")
+	noShare := fs.Bool("no-share", false, "solve the MFG baseline without peer sharing")
+	csvDir := fs.String("csv", "", "write strategy/density/price CSVs into this directory")
+	saveTo := fs.String("save", "", "write the solved equilibrium archive (gob) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := mfgcp.DefaultParams()
+	if *qk > 0 {
+		params.Qk = *qk
+		params.SigmaQ = 0.1 * *qk
+	}
+	if *eta1 > 0 {
+		params.Eta1 = *eta1
+	}
+	if *eta2 > 0 {
+		params.Eta2 = *eta2
+	}
+	if *initMean > 0 {
+		params.InitMeanFrac = *initMean
+	}
+	cfg := mfgcp.DefaultSolverConfig(params)
+	if *nh > 0 {
+		cfg.NH = *nh
+	}
+	if *nq > 0 {
+		cfg.NQ = *nq
+	}
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	cfg.ShareEnabled = !*noShare
+
+	start := time.Now()
+	eq, err := mfgcp.SolveEquilibrium(cfg, mfgcp.Workload{
+		Requests: *requests, Pop: *pop, Timeliness: *timeliness,
+	})
+	if err != nil {
+		if eq == nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mfgcp: warning: %v (reporting the partial equilibrium)\n", err)
+	}
+	fmt.Printf("equilibrium: %d iterations, converged=%v, %.2fs\n",
+		eq.Iterations, eq.Converged, time.Since(start).Seconds())
+	for _, t := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		s := eq.SnapshotAt(t * params.Horizon)
+		fmt.Printf("  t=%.2f  price=%.3f  E[x*]=%.3f  q̄=%.1fMB  Φ̄²=%.2f\n",
+			s.T, s.Price, s.MeanControl, s.QBar, s.ShareBenefit)
+	}
+
+	if *csvDir != "" {
+		if err := writeSolveCSVs(eq, params, *csvDir); err != nil {
+			return err
+		}
+		fmt.Printf("[CSV artefacts written to %s]\n", *csvDir)
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := eq.WriteTo(f)
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("[equilibrium archive (%d bytes) written to %s]\n", n, *saveTo)
+	}
+	return nil
+}
+
+func writeSolveCSVs(eq *mfgcp.Equilibrium, params mfgcp.Params, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	steps := eq.Time.Steps
+
+	// Strategy surface x*(t, q) at the mean fading level.
+	strat := &metrics.SeriesSet{Title: "strategy", XLabel: "q", YLabel: "x*"}
+	qs := eq.Grid.Q.Nodes()
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+		t := frac * params.Horizon
+		vals := make([]float64, len(qs))
+		for j, q := range qs {
+			x, err := eq.HJB.ControlAt(t, params.ChMean, q)
+			if err != nil {
+				return err
+			}
+			vals[j] = x
+		}
+		s, err := metrics.NewSeries(fmt.Sprintf("t=%.2f", t), qs, vals)
+		if err != nil {
+			return err
+		}
+		strat.Add(s)
+	}
+
+	// Density marginal λ(t, q).
+	dens := &metrics.SeriesSet{Title: "density", XLabel: "q", YLabel: "lambda"}
+	for _, frac := range []float64{0, 0.5, 1} {
+		n := int(frac * float64(steps))
+		marg, err := eq.MarginalQ(n)
+		if err != nil {
+			return err
+		}
+		s, err := metrics.NewSeries(fmt.Sprintf("t=%.2f", eq.Time.At(n)), qs, marg)
+		if err != nil {
+			return err
+		}
+		dens.Add(s)
+	}
+
+	// Price and mean-control paths.
+	econ := &metrics.SeriesSet{Title: "market", XLabel: "t", YLabel: "value"}
+	times := make([]float64, steps+1)
+	price := make([]float64, steps+1)
+	meanX := make([]float64, steps+1)
+	for n := 0; n <= steps; n++ {
+		times[n] = eq.Time.At(n)
+		price[n] = eq.Snapshots[n].Price
+		meanX[n] = eq.Snapshots[n].MeanControl
+	}
+	ps, err := metrics.NewSeries("price", times, price)
+	if err != nil {
+		return err
+	}
+	xs, err := metrics.NewSeries("mean control", times, meanX)
+	if err != nil {
+		return err
+	}
+	econ.Add(ps)
+	econ.Add(xs)
+
+	for name, set := range map[string]*metrics.SeriesSet{
+		"solve_strategy.csv": strat,
+		"solve_density.csv":  dens,
+		"solve_market.csv":   econ,
+	} {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := set.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

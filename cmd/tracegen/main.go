@@ -1,0 +1,109 @@
+// Command tracegen generates, inspects and converts the trending-video
+// demand traces that drive the MEC market simulation.
+//
+// Usage:
+//
+//	tracegen gen  [-k N] [-days N] [-per-day N] [-seed N] [-o FILE]
+//	tracegen info [-i FILE]
+//
+// `gen` writes a synthetic trace as CSV (stdout by default); `info` loads a
+// CSV trace (a converted Kaggle dump or a generated one) and prints its
+// per-category view shares and timeliness levels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: tracegen gen|info [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return genCmd(args[1:])
+	case "info":
+		return infoCmd(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or info)", args[0])
+	}
+}
+
+func genCmd(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	k := fs.Int("k", 20, "content categories")
+	days := fs.Int("days", 30, "trace days")
+	perDay := fs.Int("per-day", 200, "trending records per day")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := trace.DefaultGenConfig()
+	cfg.K = *k
+	cfg.Days = *days
+	cfg.VideosPerDay = *perDay
+	cfg.Seed = *seed
+	ds, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.Save(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d records (%d categories, %d days) to %s\n",
+			len(ds.Records), ds.K, ds.Days, *out)
+	}
+	return nil
+}
+
+func infoCmd(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	in := fs.String("i", "", "input CSV file (default stdin)")
+	lmax := fs.Float64("lmax", 5, "timeliness scale L_max")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	ds, err := trace.Load(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d records, %d categories, %d days\n\n", len(ds.Records), ds.K, ds.Days)
+	shares := ds.CategoryShares()
+	timeliness := ds.Timeliness(*lmax)
+	fmt.Printf("%-10s %12s %12s\n", "category", "view share", "timeliness")
+	for c := 0; c < ds.K; c++ {
+		fmt.Printf("%-10d %11.2f%% %12.2f\n", c, 100*shares[c], timeliness[c])
+	}
+	return nil
+}

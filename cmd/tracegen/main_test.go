@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenAndInfoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.csv")
+	if err := run([]string{"gen", "-k", "5", "-days", "2", "-per-day", "10", "-o", out}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("generated trace is empty")
+	}
+	if err := run([]string{"info", "-i", out}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"gen", "-k", "0"}); err == nil {
+		t.Error("invalid generator config should error")
+	}
+	if err := run([]string{"info", "-i", "/definitely/missing.csv"}); err == nil {
+		t.Error("missing input should error")
+	}
+}

@@ -1,0 +1,72 @@
+// Capacity: the knapsack extension from the paper's Section IV-C Remark.
+// When an EDP's total caching capacity is capped below what the per-content
+// equilibrium strategies would consume, the final allocation is derived by a
+// knapsack over the contents — weight = expected space consumed, value =
+// expected utility contribution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mfgcp "repro"
+)
+
+func main() {
+	params := mfgcp.DefaultParams()
+	cfg := mfgcp.DefaultSolverConfig(params)
+	cfg.NH, cfg.NQ, cfg.Steps = 9, 41, 60 // keep the demo quick
+
+	// Solve equilibria for four contents with decreasing demand.
+	workloads := []mfgcp.Workload{
+		{Requests: 16, Pop: 0.40, Timeliness: 3},
+		{Requests: 9, Pop: 0.25, Timeliness: 2},
+		{Requests: 5, Pop: 0.20, Timeliness: 2},
+		{Requests: 2, Pop: 0.15, Timeliness: 1},
+	}
+	equilibria := make([]*mfgcp.Equilibrium, len(workloads))
+	for k, w := range workloads {
+		eq, err := mfgcp.SolveEquilibrium(cfg, w)
+		if err != nil {
+			log.Fatalf("content %d: %v", k, err)
+		}
+		equilibria[k] = eq
+	}
+
+	items, err := mfgcp.CapacityItems(equilibria, 1, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-content space demand and utility value:")
+	var totalWeight float64
+	for _, it := range items {
+		fmt.Printf("  content %d: weight %.1f MB, value %.1f $\n", it.Content, it.Weight, it.Value)
+		totalWeight += it.Weight
+	}
+
+	capacity := totalWeight * 0.6 // the EDP can only serve 60% of the demand
+	fmt.Printf("\ncapacity budget: %.1f MB of %.1f MB demanded\n", capacity, totalWeight)
+
+	frac, err := mfgcp.AllocateFractional(items, capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfractional allocation (scales the equilibrium caching rates):")
+	for i, it := range items {
+		fmt.Printf("  content %d: %.0f%% admitted\n", it.Content, 100*frac[i])
+	}
+
+	take, value, err := mfgcp.Allocate01(items, capacity, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n0/1 allocation (cache a content fully or not at all):")
+	for i, it := range items {
+		verdict := "skip"
+		if take[i] {
+			verdict = "cache"
+		}
+		fmt.Printf("  content %d: %s\n", it.Content, verdict)
+	}
+	fmt.Printf("0/1 total value: %.1f $\n", value)
+}

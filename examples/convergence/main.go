@@ -1,0 +1,47 @@
+// Convergence: watch the iterative best-response learning scheme
+// (Algorithm 2) contract to the unique mean-field equilibrium (Theorem 2),
+// then follow representative EDPs from different initial caching states as
+// their trajectories stabilise — the Fig. 9 experiment in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	mfgcp "repro"
+)
+
+func main() {
+	params := mfgcp.DefaultParams()
+	cfg := mfgcp.DefaultSolverConfig(params)
+	workload := mfgcp.Workload{Requests: 10, Pop: 0.3, Timeliness: 2}
+
+	eq, err := mfgcp.SolveEquilibrium(cfg, workload)
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+
+	fmt.Println("best-response residuals sup|x^ψ − x^(ψ−1)| per iteration:")
+	for i, r := range eq.Residuals {
+		bar := strings.Repeat("#", int(40*r/eq.Residuals[0]))
+		fmt.Printf("  ψ=%2d  %.6f  %s\n", i+1, r, bar)
+	}
+	fmt.Printf("converged: %v (tolerance %g)\n\n", eq.Converged, cfg.Tol)
+
+	fmt.Println("representative EDPs from different initial caching states:")
+	fmt.Printf("  %-8s %12s %12s %14s\n", "q(0)", "q(T/2)", "q(T)", "total utility")
+	for _, q0 := range []float64{30, 50, 70, 90} {
+		roll, err := eq.EnsembleRollout(params.ChMean, q0, 3, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		half := len(roll.Q) / 2
+		u, _ := roll.Final()
+		fmt.Printf("  %-8.0f %12.1f %12.1f %14.1f\n",
+			q0, roll.Q[half], roll.Q[len(roll.Q)-1], u)
+	}
+	fmt.Println("\nshapes to observe (paper Fig. 9): trajectories flatten toward the")
+	fmt.Println("end of the horizon, and the EDP starting with the most empty cache")
+	fmt.Println("earns the lowest utility early on — it must buy its inventory first.")
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sde"
+)
+
+// EnsembleRollout averages n independent representative-agent rollouts
+// (distinct Brownian paths, common initial state and equilibrium). The result
+// approximates the expected trajectory E[q(t)], E[U(t)], … that the paper's
+// convergence figures plot; single paths carry ±ϱq√t of diffusion noise that
+// would obscure the shapes. Members are simulated concurrently (one worker
+// per CPU); the deterministic per-member seeds make the average independent
+// of scheduling.
+func (eq *Equilibrium) EnsembleRollout(h0, q0 float64, seed int64, n int) (*Rollout, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: ensemble size must be ≥ 1, got %d", n)
+	}
+	members := make([]*Rollout, n)
+	errs := make([]error, n)
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				members[i], errs[i] = eq.SimulateRollout(h0, q0, sde.DeriveSeed(seed, i))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	var avg *Rollout
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if avg == nil {
+			avg = members[i]
+			continue
+		}
+		accumulate(avg, members[i])
+	}
+	scale := 1 / float64(n)
+	for _, f := range rolloutFields(avg) {
+		for k := range f {
+			f[k] *= scale
+		}
+	}
+	// Times are identical across members; undo their averaging-by-scaling.
+	for k := range avg.Times {
+		avg.Times[k] = eq.Time.At(k)
+	}
+	return avg, nil
+}
+
+func accumulate(dst, src *Rollout) {
+	df, sf := rolloutFields(dst), rolloutFields(src)
+	for i := range df {
+		for k := range df[i] {
+			df[i][k] += sf[i][k]
+		}
+	}
+}
+
+func rolloutFields(r *Rollout) [][]float64 {
+	return [][]float64{
+		r.Times, r.H, r.Q, r.X,
+		r.Utility, r.Trading, r.Sharing, r.Placement, r.Staleness, r.ShareCost,
+		r.CumUtility, r.CumTrading,
+	}
+}

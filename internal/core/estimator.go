@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution: the MFG-CP
+// framework. It contains the mean-field estimator that replaces the pairwise
+// information exchange of the original M-player game (Eqs. 14–18), the
+// iterative best-response learning scheme that solves the coupled HJB–FPK
+// system to a mean-field equilibrium (Algorithm 2), and a representative-
+// agent rollout used to evaluate utilities along equilibrium trajectories.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/mec"
+	"repro/internal/numerics"
+)
+
+// Snapshot captures every mean-field quantity the generic EDP needs at one
+// time node. It is what the mean-field estimator "publicises" instead of the
+// individual states of the other M−1 EDPs.
+type Snapshot struct {
+	T float64
+
+	// MeanControl is E_λ[x*] = ∫∫ λ(S) x*(S) dS, the population-average
+	// caching rate entering the dynamic price (Eq. 17).
+	MeanControl float64
+	// Price is the limiting trading price p(t) of Eq. (17).
+	Price float64
+	// QBar is q̄_{−,k}(t) = ∫∫ q·λ(S) dS, the mean remaining space of the
+	// peer population (Eq. 18).
+	QBar float64
+	// SharerFrac is M_k(t)/M: the fraction of EDPs whose remaining space is
+	// below α·Qk, i.e. that have cached enough to qualify as sharers.
+	SharerFrac float64
+	// Case3Frac is M'_k(t)/M: the fraction of EDPs that fall into Case 3
+	// (neither themselves nor the average peer has cached enough).
+	Case3Frac float64
+	// DeltaQ is the average transfer size Δq̄(t) between sharing partners.
+	DeltaQ float64
+	// ShareBenefit is the average sharing benefit Φ̄²(t) accruing to one
+	// qualified sharer.
+	ShareBenefit float64
+}
+
+// Estimator computes mean-field snapshots from a density λ and a control
+// field x on a fixed state grid. It is deliberately stateless between calls:
+// the fixed-point iteration of Algorithm 2 rebuilds snapshots from the
+// freshest λ and x* each round.
+type Estimator struct {
+	P mec.Params
+	G grid.Grid2D
+}
+
+// NewEstimator validates the parameters and returns an estimator on g.
+func NewEstimator(p mec.Params, g grid.Grid2D) (*Estimator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{P: p, G: g}, nil
+}
+
+// Snapshot computes every estimator quantity at time t from the density
+// lambda and the control field x (both flattened over the grid).
+func (e *Estimator) Snapshot(t float64, lambda, x []float64) (Snapshot, error) {
+	g := e.G
+	if len(lambda) != g.Size() || len(x) != g.Size() {
+		return Snapshot{}, fmt.Errorf("core: Snapshot: lambda %d, x %d, grid %d", len(lambda), len(x), g.Size())
+	}
+	// Normalising constant: the solvers keep ∫∫λ = 1, but dividing by the
+	// actual quadrature mass makes the estimator robust to round-off and to
+	// callers handing in unnormalised histograms.
+	massV, err := numerics.Integral2D(g, lambda)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if massV <= 0 {
+		return Snapshot{}, fmt.Errorf("core: Snapshot: density mass %g is not positive", massV)
+	}
+
+	meanX, err := numerics.WeightedIntegral2D(g, lambda, func(i, j int, h, q float64) float64 {
+		return x[g.Idx(i, j)]
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	meanX /= massV
+
+	qBar, err := numerics.WeightedIntegral2D(g, lambda, func(_, _ int, _, q float64) float64 { return q })
+	if err != nil {
+		return Snapshot{}, err
+	}
+	qBar /= massV
+
+	aq := e.P.AlphaQ()
+	sharerMass, err := numerics.WeightedIntegral2D(g, lambda, func(_, _ int, _, q float64) float64 {
+		if q <= aq {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	sharerFrac := sharerMass / massV
+
+	// Case-3 fraction: smoothed probability that an EDP misses and the
+	// average peer misses too, integrated over the population.
+	case3, err := numerics.WeightedIntegral2D(g, lambda, func(_, _ int, _, q float64) float64 {
+		return mec.CaseProbabilities(e.P, q, qBar).P3
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	case3Frac := case3 / massV
+
+	// Average transfer size Δq̄: |E[q·1{q≤αQ}] − E[q·1{q>αQ}]|.
+	low, err := numerics.WeightedIntegral2D(g, lambda, func(_, _ int, _, q float64) float64 {
+		if q <= aq {
+			return q
+		}
+		return 0
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	high, err := numerics.WeightedIntegral2D(g, lambda, func(_, _ int, _, q float64) float64 {
+		if q > aq {
+			return q
+		}
+		return 0
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	deltaQ := math.Abs(low-high) / massV
+
+	s := Snapshot{
+		T:           t,
+		MeanControl: meanX,
+		Price:       mec.PriceMeanField(e.P, meanX),
+		QBar:        qBar,
+		SharerFrac:  sharerFrac,
+		Case3Frac:   case3Frac,
+		DeltaQ:      deltaQ,
+	}
+	s.ShareBenefit = e.shareBenefit(s)
+	return s, nil
+}
+
+// shareBenefit evaluates Φ̄²(t) = p̄k · Δq̄ · ((M − M')/M_k − 1), clamped to
+// be non-negative (an EDP can decline to share rather than pay to do so) and
+// guarded against a (near-)empty sharer population: when fewer than 0.1% of
+// EDPs qualify as sharers, the matching probability is negligible and the
+// ratio (M−M')/M_k would explode, so the benefit is reported as zero.
+func (e *Estimator) shareBenefit(s Snapshot) float64 {
+	if s.SharerFrac <= 1e-3 {
+		return 0
+	}
+	ratio := (1 - s.Case3Frac) / s.SharerFrac
+	b := e.P.SharePrice * s.DeltaQ * (ratio - 1)
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		return 0
+	}
+	return b
+}
+
+// OptimalControl is the closed-form maximiser of Theorem 1 (Eq. 21):
+//
+//	x* = [ −( w4/(2w5) + η2·Qk/(2·Hc·w5) + Qk·w1·∂qV/(2w5) ) ]₀¹
+//
+// It depends on the model constants and the local estimate of ∂qV only.
+func OptimalControl(p mec.Params, dVdq float64) float64 {
+	raw := -(p.W4/(2*p.W5) + p.Eta2*p.Qk/(2*p.HubRate*p.W5) + p.Qk*p.W1*dVdq/(2*p.W5))
+	return numerics.Clamp01(raw)
+}

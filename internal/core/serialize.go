@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Equilibrium solves are the expensive step of Algorithm 1 (one per content
+// per epoch), so production deployments cache them: an epoch whose workload
+// matches a previous one reuses the stored equilibrium, and slowly-varying
+// workloads warm-start from it (Config.WarmStart). This file provides the
+// (de)serialisation; the format is gob of the exported Equilibrium fields.
+
+// formatVersion guards against reading archives written by an incompatible
+// layout of the Equilibrium struct.
+const formatVersion = 1
+
+type equilibriumArchive struct {
+	Version int
+	Eq      *Equilibrium
+}
+
+// WriteTo serialises the equilibrium. It returns the number of bytes written
+// as reported by the counting writer wrapped around w.
+func (eq *Equilibrium) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	enc := gob.NewEncoder(cw)
+	if err := enc.Encode(equilibriumArchive{Version: formatVersion, Eq: eq}); err != nil {
+		return cw.n, fmt.Errorf("core: encode equilibrium: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadEquilibrium deserialises an equilibrium written by WriteTo.
+func ReadEquilibrium(r io.Reader) (*Equilibrium, error) {
+	var arch equilibriumArchive
+	if err := gob.NewDecoder(r).Decode(&arch); err != nil {
+		return nil, fmt.Errorf("core: decode equilibrium: %w", err)
+	}
+	if arch.Version != formatVersion {
+		return nil, fmt.Errorf("core: equilibrium archive version %d, want %d", arch.Version, formatVersion)
+	}
+	if arch.Eq == nil {
+		return nil, fmt.Errorf("core: equilibrium archive is empty")
+	}
+	if arch.Eq.HJB == nil || arch.Eq.FPK == nil {
+		return nil, fmt.Errorf("core: equilibrium archive is missing solver outputs")
+	}
+	return arch.Eq, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

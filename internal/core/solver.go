@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/mec"
+	"repro/internal/numerics"
+	"repro/internal/pde"
+)
+
+// Workload is the per-epoch, per-content demand descriptor feeding one
+// equilibrium computation: the request load |I_k|, the current popularity
+// Π_k(t) and the timeliness level L_k(t). Algorithm 1 refreshes these from
+// the trace at the start of every optimisation epoch and holds them fixed
+// within it ("the change in requesters' demands occurs at a relatively slow
+// rate compared to the time scale of the optimization epoch").
+type Workload struct {
+	Requests   float64
+	Pop        float64
+	Timeliness float64
+}
+
+// Validate checks the workload descriptor.
+func (w Workload) Validate() error {
+	if w.Requests < 0 {
+		return fmt.Errorf("core: workload requests must be non-negative, got %g", w.Requests)
+	}
+	if w.Pop < 0 || w.Pop > 1 {
+		return fmt.Errorf("core: workload popularity must lie in [0,1], got %g", w.Pop)
+	}
+	if w.Timeliness < 0 {
+		return fmt.Errorf("core: workload timeliness must be non-negative, got %g", w.Timeliness)
+	}
+	return nil
+}
+
+// Config controls one mean-field equilibrium computation (Algorithm 2).
+type Config struct {
+	Params mec.Params
+
+	// Grid resolution: NH×NQ state nodes, Steps time intervals over the
+	// horizon T.
+	NH, NQ, Steps int
+
+	// MaxIters is ψ_th, the cap on best-response iterations; Tol is the
+	// sup-norm threshold on the strategy change |x^ψ − x^(ψ−1)| below which
+	// the iteration stops (Algorithm 2, line 6).
+	MaxIters int
+	Tol      float64
+
+	// Damping γ ∈ (0,1] relaxes the strategy update,
+	// x ← (1−γ)·x_old + γ·x_new, which accelerates and robustifies the
+	// fixed-point iteration (γ=1 reproduces the undamped Algorithm 2).
+	Damping float64
+
+	// FPKForm selects the forward-equation discretisation (conservative by
+	// default; pde.Advective reproduces the paper-literal Eq. 15).
+	FPKForm pde.FPKForm
+
+	// Stepping selects the time integrator of both PDEs (implicit by
+	// default; pde.Explicit is the CFL-bounded ablation).
+	Stepping pde.Stepping
+
+	// ShareEnabled distinguishes MFG-CP (true) from the MFG baseline
+	// without peer sharing (false).
+	ShareEnabled bool
+
+	// InitLambda optionally overrides the initial density (flattened over
+	// the grid). When nil, the Section-V initialisation is used: Gaussian
+	// over q with mean InitMeanFrac·Qk and sd InitStdFrac·Qk, and the OU
+	// stationary Gaussian over h.
+	InitLambda []float64
+
+	// WarmStart optionally seeds the best-response iteration with the
+	// strategy and density paths of a previously solved equilibrium on the
+	// same grid and time mesh (Algorithm 1 runs one solve per content per
+	// epoch; slowly-varying workloads converge in far fewer iterations from
+	// the previous epoch's fixed point).
+	WarmStart *Equilibrium
+}
+
+// DefaultConfig returns the solver configuration used by the experiments.
+func DefaultConfig(p mec.Params) Config {
+	return Config{
+		Params:       p,
+		NH:           13,
+		NQ:           61,
+		Steps:        120,
+		MaxIters:     40,
+		Tol:          1e-3,
+		Damping:      0.6,
+		FPKForm:      pde.Conservative,
+		ShareEnabled: true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.NH < 3 || c.NQ < 3 {
+		return fmt.Errorf("core: grid must be at least 3×3, got %d×%d", c.NH, c.NQ)
+	}
+	if c.Steps < 2 {
+		return fmt.Errorf("core: need at least 2 time steps, got %d", c.Steps)
+	}
+	if c.MaxIters < 1 {
+		return fmt.Errorf("core: MaxIters must be ≥ 1, got %d", c.MaxIters)
+	}
+	if !(c.Tol > 0) {
+		return fmt.Errorf("core: Tol must be positive, got %g", c.Tol)
+	}
+	if !(c.Damping > 0 && c.Damping <= 1) {
+		return fmt.Errorf("core: Damping must lie in (0,1], got %g", c.Damping)
+	}
+	return nil
+}
+
+// Equilibrium is the solved mean-field equilibrium for one content over one
+// optimisation epoch: the value function and optimal strategy (HJB), the
+// mean-field density path (FPK), the estimator snapshots at every time node,
+// and the convergence diagnostics of the best-response iteration.
+type Equilibrium struct {
+	Config   Config
+	Workload Workload
+	Grid     grid.Grid2D
+	Time     grid.TimeMesh
+
+	HJB       *pde.HJBSolution
+	FPK       *pde.FPKSolution
+	Snapshots []Snapshot
+
+	Iterations int
+	Converged  bool
+	// Residuals[i] is the sup-norm strategy change after iteration i+1.
+	Residuals []float64
+}
+
+// ErrNotConverged is wrapped by Solve when the best-response iteration hits
+// MaxIters with a residual above Tol. The partially converged equilibrium is
+// still returned alongside it so callers can inspect diagnostics.
+var ErrNotConverged = errors.New("core: best-response iteration did not converge")
+
+// Solve runs the iterative best-response learning scheme (Algorithm 2):
+//
+//	repeat
+//	    1. build mean-field snapshots from the current density path λ and
+//	       strategy x (price, q̄, Δq̄, sharing benefit — Eqs. 16–18);
+//	    2. solve the backward HJB (Eq. 20) under those snapshots, obtaining
+//	       the best-response strategy x* via Theorem 1;
+//	    3. stop if sup|x* − x| < Tol;
+//	    4. solve the forward FPK (Eq. 15) under (a damped update of) x*,
+//	       obtaining the next density path;
+//	until converged or ψ = ψ_th.
+//
+// The fixed point (V*, λ*) of this map is the unique mean-field equilibrium
+// (Theorem 2).
+func Solve(cfg Config, w Workload) (*Equilibrium, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Params
+
+	hAxis, err := grid.NewAxis(p.HMin, p.HMax, cfg.NH)
+	if err != nil {
+		return nil, err
+	}
+	qAxis, err := grid.NewAxis(0, p.Qk, cfg.NQ)
+	if err != nil {
+		return nil, err
+	}
+	g, err := grid.NewGrid2D(hAxis, qAxis)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := grid.NewTimeMesh(p.Horizon, cfg.Steps)
+	if err != nil {
+		return nil, err
+	}
+
+	channel, err := mec.NewChannelModel(p)
+	if err != nil {
+		return nil, err
+	}
+	est, err := NewEstimator(p, g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initial density.
+	lambda0 := cfg.InitLambda
+	if lambda0 == nil {
+		sdH := math.Sqrt(channel.OU().StationaryVar())
+		if sdH < 1e-3 {
+			sdH = 1e-3
+		}
+		lambda0, err = pde.GaussianDensity(g, p.ChMean, sdH, p.InitMeanFrac*p.Qk, p.InitStdFrac*p.Qk)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(lambda0) != g.Size() {
+		return nil, fmt.Errorf("core: InitLambda has %d nodes, grid has %d", len(lambda0), g.Size())
+	}
+
+	// Density path: before the first FPK solve, hold λ0 constant in time.
+	lambdaPath := make([][]float64, cfg.Steps+1)
+	for n := range lambdaPath {
+		lambdaPath[n] = lambda0
+	}
+	// Strategy path: start from no caching, or from the warm-start
+	// equilibrium's fixed point.
+	xPath := make([][]float64, cfg.Steps+1)
+	for n := range xPath {
+		xPath[n] = g.NewField()
+	}
+	if ws := cfg.WarmStart; ws != nil {
+		if ws.HJB == nil || ws.FPK == nil {
+			return nil, fmt.Errorf("core: warm-start equilibrium carries no solver outputs")
+		}
+		if ws.Grid != g || ws.Time != tm {
+			return nil, fmt.Errorf("core: warm-start grid/time mesh mismatch: %dx%d/%d vs %dx%d/%d",
+				ws.Grid.H.N, ws.Grid.Q.N, ws.Time.Steps, g.H.N, g.Q.N, tm.Steps)
+		}
+		for n := range xPath {
+			copy(xPath[n], ws.HJB.X[n])
+			lambdaPath[n] = ws.FPK.Lambda[n]
+		}
+	}
+
+	eq := &Equilibrium{Config: cfg, Workload: w, Grid: g, Time: tm}
+	ou := channel.OU()
+	timeIndex := func(t float64) int {
+		n := int(t/tm.Dt() + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		if n > cfg.Steps {
+			n = cfg.Steps
+		}
+		return n
+	}
+
+	var hjb *pde.HJBSolution
+	var fpk *pde.FPKSolution
+	var snaps []Snapshot
+
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		// 1. Snapshots from the current (λ, x) paths.
+		snaps = make([]Snapshot, cfg.Steps+1)
+		ctxs := make([]*mec.UtilityContext, cfg.Steps+1)
+		for n := 0; n <= cfg.Steps; n++ {
+			s, err := est.Snapshot(tm.At(n), lambdaPath[n], xPath[n])
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshot at step %d: %w", n, err)
+			}
+			snaps[n] = s
+			ctx, err := mec.NewUtilityContext(p, channel)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Price = s.Price
+			ctx.QBar = s.QBar
+			ctx.ShareBenefit = s.ShareBenefit
+			ctx.Requests = w.Requests
+			ctx.Pop = w.Pop
+			ctx.Timeliness = w.Timeliness
+			ctx.ShareEnabled = cfg.ShareEnabled
+			ctxs[n] = ctx
+		}
+
+		// 2. Backward HJB under the frozen mean field.
+		prob := &pde.HJBProblem{
+			Grid:   g,
+			Time:   tm,
+			DiffH:  0.5 * p.ChSigma * p.ChSigma,
+			DiffQ:  0.5 * p.SigmaQ * p.SigmaQ,
+			DriftH: func(_, h float64) float64 { return ou.Drift(0, h) },
+			DriftQ: func(t, x float64) float64 { return ctxs[timeIndex(t)].QDrift(x) },
+			Control: func(_, _, _ float64, dVdq float64) float64 {
+				return OptimalControl(p, dVdq)
+			},
+			Running: func(t, x, h, q float64) float64 {
+				return ctxs[timeIndex(t)].Utility(x, h, q)
+			},
+			Stepping: cfg.Stepping,
+		}
+		hjb, err = pde.SolveHJB(prob)
+		if err != nil {
+			return nil, fmt.Errorf("core: HJB solve at iteration %d: %w", iter, err)
+		}
+
+		// 3. Strategy residual and damped update.
+		var residual float64
+		for n := 0; n <= cfg.Steps; n++ {
+			xNew := hjb.X[n]
+			xOld := xPath[n]
+			upd := g.NewField()
+			for k := range upd {
+				d := math.Abs(xNew[k] - xOld[k])
+				if d > residual {
+					residual = d
+				}
+				upd[k] = (1-cfg.Damping)*xOld[k] + cfg.Damping*xNew[k]
+			}
+			xPath[n] = upd
+		}
+		eq.Residuals = append(eq.Residuals, residual)
+		eq.Iterations = iter
+		converged := residual < cfg.Tol
+
+		// 4. Forward FPK under the updated strategy.
+		fprob := &pde.FPKProblem{
+			Grid:        g,
+			Time:        tm,
+			DiffH:       0.5 * p.ChSigma * p.ChSigma,
+			DiffQ:       0.5 * p.SigmaQ * p.SigmaQ,
+			DriftH:      func(_, h float64) float64 { return ou.Drift(0, h) },
+			Form:        cfg.FPKForm,
+			Stepping:    cfg.Stepping,
+			Renormalize: true,
+			DriftQ: func(t, h, q float64) float64 {
+				n := timeIndex(t)
+				i := g.H.NearestIndex(h)
+				j := g.Q.NearestIndex(q)
+				x := xPath[n][g.Idx(i, j)]
+				return ctxs[n].QDrift(x)
+			},
+		}
+		fpk, err = pde.SolveFPK(fprob, lambda0)
+		if err != nil {
+			return nil, fmt.Errorf("core: FPK solve at iteration %d: %w", iter, err)
+		}
+		lambdaPath = fpk.Lambda
+
+		if converged {
+			eq.Converged = true
+			break
+		}
+	}
+
+	eq.HJB = hjb
+	eq.FPK = fpk
+	eq.Snapshots = snaps
+	if !eq.Converged {
+		return eq, fmt.Errorf("%w after %d iterations (residual %.3g > tol %.3g)",
+			ErrNotConverged, eq.Iterations, eq.Residuals[len(eq.Residuals)-1], cfg.Tol)
+	}
+	return eq, nil
+}
+
+// SnapshotAt returns the estimator snapshot nearest to time t.
+func (eq *Equilibrium) SnapshotAt(t float64) Snapshot {
+	n := int(t/eq.Time.Dt() + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(eq.Snapshots) {
+		n = len(eq.Snapshots) - 1
+	}
+	return eq.Snapshots[n]
+}
+
+// MarginalQ returns the q-marginal of the mean-field density at time index n
+// (the quantity plotted in Figs. 4, 6 and 7).
+func (eq *Equilibrium) MarginalQ(n int) ([]float64, error) {
+	if eq.FPK == nil {
+		return nil, errors.New("core: equilibrium has no FPK solution")
+	}
+	if n < 0 || n >= len(eq.FPK.Lambda) {
+		return nil, fmt.Errorf("core: time index %d out of range [0,%d)", n, len(eq.FPK.Lambda))
+	}
+	dst := make([]float64, eq.Grid.Q.N)
+	if err := numerics.MarginalQ(eq.Grid, dst, eq.FPK.Lambda[n]); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

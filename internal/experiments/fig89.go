@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/mec"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register("fig8", Fig8)
+	register("fig9", Fig9)
+}
+
+// Fig8 reproduces Figure 8: sweeping the quadratic placement-cost coefficient
+// w5 over [0.65, 1.55]×base. Paper shapes to match: a smaller w5 lets EDPs
+// cache faster, so the remaining space falls more quickly; a larger w5 slows
+// caching and accumulates a higher staleness cost.
+func Fig8(opt Options) (*Report, error) {
+	rep := &Report{ID: "fig8", Title: "Impact of the placement-cost coefficient w5 (Eq. 8)"}
+	multipliers := []float64{0.65, 0.95, 1.25, 1.55}
+	base := mec.Default().W5 / 0.65 // the paper labels the sweep by the 0.65…1.55 mantissas
+
+	qSet := &metrics.SeriesSet{Title: "remaining space over time", XLabel: "time", YLabel: "E[q] (MB)"}
+	cSet := &metrics.SeriesSet{Title: "cumulative staleness cost", XLabel: "time", YLabel: "∫C² dt"}
+	finals := metrics.NewTable("final state vs w5", "w5 (×base)", "E[q](T)", "total staleness", "total utility")
+
+	for _, m := range multipliers {
+		p := mec.Default()
+		p.W5 = m * base
+		eq, err := solveEquilibrium(solverConfig(p, opt), baseWorkload())
+		if err != nil {
+			return nil, fmt.Errorf("w5=%.2f: %w", m, err)
+		}
+		steps := eq.Time.Steps
+		times := make([]float64, steps+1)
+		qbar := make([]float64, steps+1)
+		for n := 0; n <= steps; n++ {
+			times[n] = eq.Time.At(n)
+			qbar[n] = eq.Snapshots[n].QBar
+		}
+		s, err := metrics.NewSeries(fmt.Sprintf("w5=%.2f", m), times, qbar)
+		if err != nil {
+			return nil, err
+		}
+		qSet.Add(s)
+
+		roll, err := eq.EnsembleRollout(p.ChMean, p.InitMeanFrac*p.Qk, opt.Seed, ensembleSize(opt))
+		if err != nil {
+			return nil, err
+		}
+		cum := make([]float64, steps+1)
+		dt := eq.Time.Dt()
+		for n := 1; n <= steps; n++ {
+			cum[n] = cum[n-1] + roll.Staleness[n]*dt
+		}
+		cs, err := metrics.NewSeries(fmt.Sprintf("w5=%.2f", m), times, cum)
+		if err != nil {
+			return nil, err
+		}
+		cSet.Add(cs)
+
+		u, _ := roll.Final()
+		if err := finals.AddRow(
+			fmt.Sprintf("%.2f", m),
+			fmt.Sprintf("%.2f", qbar[steps]),
+			fmt.Sprintf("%.2f", cum[steps]),
+			fmt.Sprintf("%.2f", u),
+		); err != nil {
+			return nil, err
+		}
+	}
+	rep.Sets = append(rep.Sets, qSet, cSet)
+	rep.Tables = append(rep.Tables, finals)
+	rep.Note("paper shape: smaller w5 ⇒ remaining space falls faster; larger w5 ⇒ higher staleness cost")
+	return rep, nil
+}
+
+// Fig9 reproduces Figure 9: convergence of the caching state and utility for
+// different initial caching states q(0) ∈ [30, 90]. Paper shapes to match:
+// the trajectories from different starting points approach a common band (the
+// equilibrium), and the EDP starting with the largest remaining space has the
+// lowest utility early on (it must spend more on caching).
+func Fig9(opt Options) (*Report, error) {
+	p := mec.Default()
+	eq, err := solveEquilibrium(solverConfig(p, opt), baseWorkload())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig9", Title: "Convergence of caching state and utility vs q(0)"}
+	steps := eq.Time.Steps
+
+	qSet := &metrics.SeriesSet{Title: "caching state over time", XLabel: "time", YLabel: "q(t) (MB)"}
+	uSet := &metrics.SeriesSet{Title: "accumulated utility over time", XLabel: "time", YLabel: "∫U dt"}
+	finals := metrics.NewTable("end of horizon", "q(0) (MB)", "q(T) (MB)", "total utility")
+
+	var earlyMove, lateMove float64
+	var firstEarlyUtility, lastEarlyUtility float64
+	inits := []float64{30, 50, 70, 90}
+	for idx, q0 := range inits {
+		roll, err := eq.EnsembleRollout(p.ChMean, q0, opt.Seed+int64(idx), ensembleSize(opt))
+		if err != nil {
+			return nil, err
+		}
+		s, err := metrics.NewSeries(fmt.Sprintf("q(0)=%.0f", q0), roll.Times, roll.Q)
+		if err != nil {
+			return nil, err
+		}
+		qSet.Add(s)
+		us, err := metrics.NewSeries(fmt.Sprintf("q(0)=%.0f", q0), roll.Times, roll.CumUtility)
+		if err != nil {
+			return nil, err
+		}
+		uSet.Add(us)
+		u, _ := roll.Final()
+		if err := finals.AddFloatRow(fmt.Sprintf("%.0f", q0), roll.Q[steps], u); err != nil {
+			return nil, err
+		}
+		// Stabilisation: how much the state still moves in the last quarter
+		// of the horizon compared with the first quarter.
+		earlyMove += absFloat(roll.Q[steps/4] - roll.Q[0])
+		lateMove += absFloat(roll.Q[steps] - roll.Q[3*steps/4])
+		early := roll.CumUtility[steps/4]
+		if idx == 0 {
+			firstEarlyUtility = early
+		}
+		lastEarlyUtility = early
+	}
+	rep.Sets = append(rep.Sets, qSet, uSet)
+	rep.Tables = append(rep.Tables, finals)
+
+	rep.Note("stabilisation: mean |Δq| over the last quarter of the horizon is %.1fMB vs %.1fMB over the first (paper: states and utilities tend towards stability)",
+		lateMove/float64(len(inits)), earlyMove/float64(len(inits)))
+	rep.Note("early utility: q(0)=%.0f accumulates %.1f vs q(0)=%.0f accumulates %.1f (paper: the largest q(0) has the lowest utility at first)",
+		inits[0], firstEarlyUtility, inits[len(inits)-1], lastEarlyUtility)
+	return rep, nil
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

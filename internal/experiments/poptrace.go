@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// popularityTrace builds a single-day trace whose view shares give content 0
+// exactly the target popularity pi, with the remaining 1−pi split evenly over
+// the other contents. Used by Fig. 13, which fixes the popularity of one
+// selected content.
+func popularityTrace(k int, pi float64, seed int64) (*trace.Dataset, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("experiments: popularityTrace needs ≥2 contents, got %d", k)
+	}
+	if pi <= 0 || pi >= 1 {
+		return nil, fmt.Errorf("experiments: target popularity must lie in (0,1), got %g", pi)
+	}
+	const totalViews = 1e6
+	ds := &trace.Dataset{K: k, Days: 1}
+	rest := (1 - pi) / float64(k-1)
+	for c := 0; c < k; c++ {
+		share := rest
+		if c == 0 {
+			share = pi
+		}
+		ds.Records = append(ds.Records, trace.Record{
+			VideoID:      fmt.Sprintf("fix%02d-%d", c, seed),
+			CategoryID:   c,
+			TrendingDay:  0,
+			Views:        int64(share * totalViews),
+			Likes:        int64(share * totalViews / 50),
+			CommentCount: int64(share * totalViews / 500),
+		})
+	}
+	return ds, nil
+}

@@ -1,0 +1,169 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustAxis(t *testing.T, min, max float64, n int) Axis {
+	t.Helper()
+	a, err := NewAxis(min, max, n)
+	if err != nil {
+		t.Fatalf("NewAxis(%g,%g,%d): %v", min, max, n, err)
+	}
+	return a
+}
+
+func TestAxisBasics(t *testing.T) {
+	a := mustAxis(t, 0, 10, 11)
+	if got := a.Step(); got != 1 {
+		t.Errorf("Step = %g, want 1", got)
+	}
+	if got := a.At(3); got != 3 {
+		t.Errorf("At(3) = %g, want 3", got)
+	}
+	nodes := a.Nodes()
+	if len(nodes) != 11 || nodes[0] != 0 || nodes[10] != 10 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+}
+
+func TestAxisValidation(t *testing.T) {
+	if _, err := NewAxis(0, 1, 1); err == nil {
+		t.Error("N=1 should be rejected")
+	}
+	if _, err := NewAxis(1, 1, 5); err == nil {
+		t.Error("empty range should be rejected")
+	}
+	if _, err := NewAxis(math.NaN(), 1, 5); err == nil {
+		t.Error("NaN bound should be rejected")
+	}
+	if _, err := NewAxis(0, math.Inf(1), 5); err == nil {
+		t.Error("infinite bound should be rejected")
+	}
+}
+
+func TestAxisLocate(t *testing.T) {
+	a := mustAxis(t, 0, 10, 11)
+	cases := []struct {
+		x     float64
+		wantI int
+		wantF float64
+	}{
+		{-5, 0, 0},    // clamped below
+		{0, 0, 0},     // exact node
+		{2.5, 2, 0.5}, // mid-cell
+		{10, 9, 1},    // upper end maps to last cell with f=1
+		{15, 9, 1},    // clamped above
+	}
+	for _, c := range cases {
+		i, f := a.Locate(c.x)
+		if i != c.wantI || math.Abs(f-c.wantF) > 1e-12 {
+			t.Errorf("Locate(%g) = (%d, %g), want (%d, %g)", c.x, i, f, c.wantI, c.wantF)
+		}
+	}
+}
+
+func TestAxisNearestIndex(t *testing.T) {
+	a := mustAxis(t, 0, 10, 11)
+	if got := a.NearestIndex(3.4); got != 3 {
+		t.Errorf("NearestIndex(3.4) = %d, want 3", got)
+	}
+	if got := a.NearestIndex(3.6); got != 4 {
+		t.Errorf("NearestIndex(3.6) = %d, want 4", got)
+	}
+	if got := a.NearestIndex(-1); got != 0 {
+		t.Errorf("NearestIndex(-1) = %d, want 0", got)
+	}
+	if got := a.NearestIndex(99); got != 10 {
+		t.Errorf("NearestIndex(99) = %d, want 10", got)
+	}
+}
+
+// Property: Locate reconstructs x on in-range points.
+func TestAxisLocateReconstruction(t *testing.T) {
+	a := mustAxis(t, -3, 7, 23)
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		x := a.Clamp(math.Mod(raw, 10))
+		i, fr := a.Locate(x)
+		rec := a.At(i) + fr*a.Step()
+		return math.Abs(rec-x) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrid2DIndexing(t *testing.T) {
+	g, err := NewGrid2D(mustAxis(t, 0, 1, 3), mustAxis(t, 0, 1, 5))
+	if err != nil {
+		t.Fatalf("NewGrid2D: %v", err)
+	}
+	if g.Size() != 15 {
+		t.Fatalf("Size = %d, want 15", g.Size())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			idx := g.Idx(i, j)
+			gi, gj := g.Coords(idx)
+			if gi != i || gj != j {
+				t.Fatalf("Coords(Idx(%d,%d)) = (%d,%d)", i, j, gi, gj)
+			}
+		}
+	}
+	if got := len(g.NewField()); got != 15 {
+		t.Errorf("NewField length %d, want 15", got)
+	}
+	want := (1.0 / 2.0) * (1.0 / 4.0)
+	if got := g.CellArea(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("CellArea = %g, want %g", got, want)
+	}
+}
+
+func TestGrid2DValidation(t *testing.T) {
+	bad := Axis{Min: 0, Max: 0, N: 3}
+	good := Axis{Min: 0, Max: 1, N: 3}
+	if _, err := NewGrid2D(bad, good); err == nil {
+		t.Error("bad H axis should be rejected")
+	}
+	if _, err := NewGrid2D(good, bad); err == nil {
+		t.Error("bad Q axis should be rejected")
+	}
+}
+
+func TestTimeMesh(t *testing.T) {
+	tm, err := NewTimeMesh(1, 4)
+	if err != nil {
+		t.Fatalf("NewTimeMesh: %v", err)
+	}
+	if tm.Dt() != 0.25 {
+		t.Errorf("Dt = %g, want 0.25", tm.Dt())
+	}
+	times := tm.Times()
+	if len(times) != 5 || times[0] != 0 || times[4] != 1 {
+		t.Errorf("Times = %v", times)
+	}
+	if _, err := NewTimeMesh(1, 0); err == nil {
+		t.Error("0 steps should be rejected")
+	}
+	if _, err := NewTimeMesh(-1, 4); err == nil {
+		t.Error("negative horizon should be rejected")
+	}
+	if _, err := NewTimeMesh(math.Inf(1), 4); err == nil {
+		t.Error("infinite horizon should be rejected")
+	}
+}
+
+func TestAxisContainsClamp(t *testing.T) {
+	a := mustAxis(t, 2, 4, 5)
+	if !a.Contains(3) || a.Contains(1.9) || a.Contains(4.1) {
+		t.Error("Contains misbehaves")
+	}
+	if a.Clamp(0) != 2 || a.Clamp(5) != 4 || a.Clamp(3) != 3 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,152 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix. It exists mainly to cross-check the
+// banded solvers in tests and to solve the tiny systems that appear in the
+// baseline policies (e.g. least-squares popularity fits).
+type Dense struct {
+	Rows, Cols int
+	Data       Vector // len Rows*Cols, row-major
+}
+
+// NewDense allocates a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{Rows: r, Cols: c, Data: NewVector(r * c)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	return &Dense{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// MulVec computes dst = M*v.
+func (m *Dense) MulVec(dst, v Vector) error {
+	if len(v) != m.Cols || len(dst) != m.Rows {
+		return fmt.Errorf("%w: matrix %dx%d, v %d, dst %d", ErrDimensionMismatch, m.Rows, m.Cols, len(v), len(dst))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// LU holds a PA=LU factorisation with partial pivoting.
+type LU struct {
+	lu   *Dense
+	perm []int
+	sign int
+}
+
+// Factor computes the LU factorisation of a square matrix.
+func (m *Dense) Factor() (*LU, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: LU requires square matrix, got %dx%d", ErrDimensionMismatch, m.Rows, m.Cols)
+	}
+	n := m.Rows
+	lu := m.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// partial pivot
+		p, best := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > best {
+				p, best = i, a
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("%w: pivot %d", ErrSingular, k)
+		}
+		if p != k {
+			ri := lu.Data[p*n : (p+1)*n]
+			rk := lu.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				ri[j], rk[j] = rk[j], ri[j]
+			}
+			perm[p], perm[k] = perm[k], perm[p]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivot
+			lu.Set(i, k, f)
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm, sign: sign}, nil
+}
+
+// Solve solves A*x = b using the factorisation. dst may alias b.
+func (f *LU) Solve(dst, b Vector) error {
+	n := f.lu.Rows
+	if len(b) != n || len(dst) != n {
+		return fmt.Errorf("%w: system %d, b %d, dst %d", ErrDimensionMismatch, n, len(b), len(dst))
+	}
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[f.perm[i]]
+	}
+	// forward substitution (unit lower)
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.At(i, j) * y[j]
+		}
+		y[i] -= s
+	}
+	// back substitution
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.At(i, j) * y[j]
+		}
+		y[i] = (y[i] - s) / f.lu.At(i, i)
+	}
+	copy(dst, y)
+	return nil
+}
+
+// Det returns the determinant from the factorisation.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveDense is a convenience wrapper: factor A and solve A*x=b.
+func SolveDense(a *Dense, b Vector) (Vector, error) {
+	f, err := a.Factor()
+	if err != nil {
+		return nil, err
+	}
+	x := make(Vector, len(b))
+	if err := f.Solve(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

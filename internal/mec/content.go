@@ -1,0 +1,133 @@
+package mec
+
+import (
+	"fmt"
+
+	"repro/internal/numerics"
+)
+
+// Content describes one content category k: its size, its current popularity
+// Π_k (Definition 1) and timeliness L_k (Definition 2), and the current
+// per-epoch request load |I_k|.
+type Content struct {
+	ID         int
+	Size       float64 // Qk, MB
+	Pop0       float64 // initial Zipf popularity Π_k(t0)
+	Pop        float64 // current popularity Π_k(t)
+	Timeliness float64 // L_k(t) ∈ [0, LMax]
+	Requests   float64 // |I_k(t)|, requests per epoch at this EDP
+}
+
+// Catalog is the full content set K.
+type Catalog struct {
+	Contents []Content
+	k        int
+}
+
+// NewCatalog builds K contents with Zipf(ι) initial popularity (Definition 1)
+// and uniform size Qk. Timeliness starts at LMax/2 and request counts at 0;
+// both are refreshed per epoch from the workload.
+func NewCatalog(p Params) (*Catalog, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := numerics.ZipfWeights(p.K, p.ZipfSkew)
+	if err != nil {
+		return nil, err
+	}
+	cs := make([]Content, p.K)
+	for k := range cs {
+		cs[k] = Content{
+			ID:         k,
+			Size:       p.Qk,
+			Pop0:       w[k],
+			Pop:        w[k],
+			Timeliness: p.LMax / 2,
+		}
+	}
+	return &Catalog{Contents: cs, k: p.K}, nil
+}
+
+// K returns the catalogue size.
+func (c *Catalog) K() int { return c.k }
+
+// Get returns a pointer to content k.
+func (c *Catalog) Get(k int) (*Content, error) {
+	if k < 0 || k >= c.k {
+		return nil, fmt.Errorf("mec: content %d out of range [0,%d)", k, c.k)
+	}
+	return &c.Contents[k], nil
+}
+
+// UpdatePopularity applies the request-driven popularity update of Eq. (3):
+//
+//	Π_k(t) = (K·Π_k(t0) + |I_k(t)|) / (K + Σ_k' |I_k'(t)|)
+//
+// given the per-content request counts of the current epoch. If the initial
+// popularity sums to 1 the updated popularity sums to 1 as well (verified by
+// a property test).
+func (c *Catalog) UpdatePopularity(requests []float64) error {
+	if len(requests) != c.k {
+		return fmt.Errorf("mec: UpdatePopularity: %d request counts for %d contents", len(requests), c.k)
+	}
+	var total float64
+	for _, r := range requests {
+		if r < 0 {
+			return fmt.Errorf("mec: UpdatePopularity: negative request count %g", r)
+		}
+		total += r
+	}
+	den := float64(c.k) + total
+	for k := range c.Contents {
+		c.Contents[k].Requests = requests[k]
+		c.Contents[k].Pop = (float64(c.k)*c.Contents[k].Pop0 + requests[k]) / den
+	}
+	return nil
+}
+
+// UpdateTimeliness sets L_k(t) to the mean of the requesters' declared
+// timeliness requirements (Definition 2), clamped to [0, LMax].
+func (c *Catalog) UpdateTimeliness(k int, perRequester []float64, lmax float64) error {
+	ct, err := c.Get(k)
+	if err != nil {
+		return err
+	}
+	if len(perRequester) == 0 {
+		return nil // no requests this epoch: keep the previous level
+	}
+	ct.Timeliness = numerics.Clamp(numerics.Mean(perRequester), 0, lmax)
+	return nil
+}
+
+// TotalPopularity returns Σ_k Π_k (≈1 whenever the catalogue was initialised
+// from a normalised Zipf vector).
+func (c *Catalog) TotalPopularity() float64 {
+	var s float64
+	for _, ct := range c.Contents {
+		s += ct.Pop
+	}
+	return s
+}
+
+// HotSet returns the indices of the n most popular contents (by current Π),
+// used by the Most-Popular-Caching baseline.
+func (c *Catalog) HotSet(n int) []int {
+	if n > c.k {
+		n = c.k
+	}
+	idx := make([]int, c.k)
+	for i := range idx {
+		idx[i] = i
+	}
+	// selection sort on popularity: K is small (≈20) so simplicity wins
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < c.k; j++ {
+			if c.Contents[idx[j]].Pop > c.Contents[idx[best]].Pop {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:n]
+}

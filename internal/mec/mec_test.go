@@ -1,0 +1,637 @@
+package mec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default params invalid: %v", err)
+	}
+	if err := Paper().Validate(); err != nil {
+		t.Fatalf("Paper params invalid: %v", err)
+	}
+}
+
+func TestParamsValidateRejections(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"M=0", func(p *Params) { p.M = 0 }},
+		{"K=0", func(p *Params) { p.K = 0 }},
+		{"Qk=0", func(p *Params) { p.Qk = 0 }},
+		{"w1<0", func(p *Params) { p.W1 = -1 }},
+		{"ξ=1", func(p *Params) { p.Xi = 1 }},
+		{"ξ=0", func(p *Params) { p.Xi = 0 }},
+		{"ϱq<0", func(p *Params) { p.SigmaQ = -1 }},
+		{"ςh=0", func(p *Params) { p.ChRate = 0 }},
+		{"ϱh<0", func(p *Params) { p.ChSigma = -1 }},
+		{"empty fading range", func(p *Params) { p.HMax = p.HMin }},
+		{"B=0", func(p *Params) { p.Bandwidth = 0 }},
+		{"G=0", func(p *Params) { p.TxPower = 0 }},
+		{"noise=0", func(p *Params) { p.Noise = 0 }},
+		{"τ<0", func(p *Params) { p.PathLoss = -1 }},
+		{"d=0", func(p *Params) { p.MeanDist = 0 }},
+		{"interferers<0", func(p *Params) { p.Interfer = -1 }},
+		{"Hc=0", func(p *Params) { p.HubRate = 0 }},
+		{"rate floor=0", func(p *Params) { p.RateFloor = 0 }},
+		{"p̂=0", func(p *Params) { p.PHat = 0 }},
+		{"η1<0", func(p *Params) { p.Eta1 = -1 }},
+		{"p̄<0", func(p *Params) { p.SharePrice = -1 }},
+		{"w4<0", func(p *Params) { p.W4 = -1 }},
+		{"w5=0", func(p *Params) { p.W5 = 0 }},
+		{"α=0", func(p *Params) { p.Alpha = 0 }},
+		{"α=1", func(p *Params) { p.Alpha = 1 }},
+		{"l=0", func(p *Params) { p.SmoothL = 0 }},
+		{"ι=0", func(p *Params) { p.ZipfSkew = 0 }},
+		{"Lmax<0", func(p *Params) { p.LMax = -1 }},
+		{"T=0", func(p *Params) { p.Horizon = 0 }},
+		{"init sd=0", func(p *Params) { p.InitStdFrac = 0 }},
+		{"init mean>1", func(p *Params) { p.InitMeanFrac = 1.5 }},
+	}
+	for _, m := range mutations {
+		p := Default()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestAlphaQ(t *testing.T) {
+	p := Default()
+	if got := p.AlphaQ(); math.Abs(got-20) > 1e-12 {
+		t.Errorf("AlphaQ = %g, want 20", got)
+	}
+}
+
+// --- Catalog ----------------------------------------------------------------
+
+func TestNewCatalogZipf(t *testing.T) {
+	p := Default()
+	c, err := NewCatalog(p)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	if c.K() != p.K {
+		t.Fatalf("K = %d, want %d", c.K(), p.K)
+	}
+	if math.Abs(c.TotalPopularity()-1) > 1e-12 {
+		t.Errorf("initial ΣΠ = %g, want 1", c.TotalPopularity())
+	}
+	for k := 1; k < c.K(); k++ {
+		if c.Contents[k].Pop > c.Contents[k-1].Pop {
+			t.Errorf("Zipf popularity must be non-increasing at %d", k)
+		}
+	}
+	bad := p
+	bad.K = 0
+	if _, err := NewCatalog(bad); err == nil {
+		t.Error("invalid params should be rejected")
+	}
+}
+
+func TestCatalogGet(t *testing.T) {
+	c, err := NewCatalog(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(0); err != nil {
+		t.Errorf("Get(0): %v", err)
+	}
+	if _, err := c.Get(-1); err == nil {
+		t.Error("Get(-1) should error")
+	}
+	if _, err := c.Get(c.K()); err == nil {
+		t.Error("Get(K) should error")
+	}
+}
+
+// Property: the Eq. (3) popularity update preserves ΣΠ = 1 for any
+// non-negative request vector.
+func TestPopularityUpdateNormalised(t *testing.T) {
+	p := Default()
+	f := func(raw [20]uint16) bool {
+		c, err := NewCatalog(p)
+		if err != nil {
+			return false
+		}
+		reqs := make([]float64, p.K)
+		for i := range reqs {
+			reqs[i] = float64(raw[i] % 1000)
+		}
+		if err := c.UpdatePopularity(reqs); err != nil {
+			return false
+		}
+		return math.Abs(c.TotalPopularity()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopularityUpdateDirection(t *testing.T) {
+	p := Default()
+	c, err := NewCatalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]float64, p.K)
+	reqs[p.K-1] = 500 // flood the least popular content with requests
+	before := c.Contents[p.K-1].Pop
+	if err := c.UpdatePopularity(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contents[p.K-1].Pop <= before {
+		t.Error("requested content should gain popularity")
+	}
+	if c.Contents[0].Pop >= c.Contents[0].Pop0 {
+		t.Error("unrequested content should lose popularity")
+	}
+	if err := c.UpdatePopularity(reqs[:3]); err == nil {
+		t.Error("short request vector should error")
+	}
+	reqs[0] = -1
+	if err := c.UpdatePopularity(reqs); err == nil {
+		t.Error("negative request count should error")
+	}
+}
+
+func TestUpdateTimeliness(t *testing.T) {
+	p := Default()
+	c, err := NewCatalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateTimeliness(0, []float64{1, 2, 3}, p.LMax); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Contents[0].Timeliness; got != 2 {
+		t.Errorf("timeliness = %g, want 2", got)
+	}
+	// Clamps to LMax.
+	if err := c.UpdateTimeliness(0, []float64{99}, p.LMax); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Contents[0].Timeliness; got != p.LMax {
+		t.Errorf("timeliness = %g, want clamp at %g", got, p.LMax)
+	}
+	// Empty keeps previous.
+	if err := c.UpdateTimeliness(0, nil, p.LMax); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Contents[0].Timeliness; got != p.LMax {
+		t.Errorf("timeliness changed on empty update: %g", got)
+	}
+	if err := c.UpdateTimeliness(99, []float64{1}, p.LMax); err == nil {
+		t.Error("bad index should error")
+	}
+}
+
+func TestHotSet(t *testing.T) {
+	p := Default()
+	c, err := NewCatalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := c.HotSet(3)
+	if len(hot) != 3 {
+		t.Fatalf("HotSet(3) returned %d", len(hot))
+	}
+	// With fresh Zipf popularity the hot set is 0,1,2.
+	for i, k := range hot {
+		if k != i {
+			t.Errorf("hot[%d] = %d, want %d", i, k, i)
+		}
+	}
+	if got := len(c.HotSet(999)); got != p.K {
+		t.Errorf("oversized HotSet returned %d, want %d", got, p.K)
+	}
+}
+
+// --- Channel ----------------------------------------------------------------
+
+func TestChannelRateMonotoneInFading(t *testing.T) {
+	ch, err := NewChannelModel(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := ch.Rate(1)
+	for h := 2.0; h <= 10; h++ {
+		r := ch.Rate(h)
+		if r < prev {
+			t.Fatalf("rate must be non-decreasing in h: Rate(%g)=%g < %g", h, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestChannelRateFloor(t *testing.T) {
+	p := Default()
+	ch, err := NewChannelModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.Rate(1e-9); got != p.RateFloor {
+		t.Errorf("vanishing signal should hit the floor: %g", got)
+	}
+}
+
+func TestChannelRateExact(t *testing.T) {
+	p := Default()
+	ch, err := NewChannelModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := ch.RateExact(5, p.MeanDist, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded, err := ch.RateExact(5, p.MeanDist, []float64{5, 5, 5}, []float64{10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crowded >= solo {
+		t.Errorf("interference should reduce the rate: %g vs %g", crowded, solo)
+	}
+	if _, err := ch.RateExact(5, 10, []float64{1}, nil); err == nil {
+		t.Error("mismatched interferer slices should error")
+	}
+}
+
+func TestChannelGainDistance(t *testing.T) {
+	ch, err := NewChannelModel(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Gain(5, 10) <= ch.Gain(5, 20) {
+		t.Error("gain must decay with distance")
+	}
+	// Non-positive distance falls back to the mean distance.
+	if ch.Gain(5, 0) != ch.Gain(5, Default().MeanDist) {
+		t.Error("non-positive distance should use the mean distance")
+	}
+}
+
+func TestClampFading(t *testing.T) {
+	p := Default()
+	ch, err := NewChannelModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ClampFading(0) != p.HMin || ch.ClampFading(99) != p.HMax || ch.ClampFading(5) != 5 {
+		t.Error("ClampFading misbehaves")
+	}
+}
+
+// --- Cases ------------------------------------------------------------------
+
+// Property: P1+P2+P3 = 1 for any states — the logistic complement identity.
+func TestCaseProbabilitiesSumToOne(t *testing.T) {
+	p := Default()
+	f := func(qr, qbr float64) bool {
+		if math.IsNaN(qr) || math.IsNaN(qbr) || math.IsInf(qr, 0) || math.IsInf(qbr, 0) {
+			return true
+		}
+		q := math.Mod(math.Abs(qr), p.Qk)
+		qbar := math.Mod(math.Abs(qbr), p.Qk)
+		cs := CaseProbabilities(p, q, qbar)
+		if cs.P1 < 0 || cs.P2 < 0 || cs.P3 < 0 {
+			return false
+		}
+		return math.Abs(cs.P1+cs.P2+cs.P3-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaseProbabilitiesLimits(t *testing.T) {
+	p := Default()
+	// The default smooth-step slope is deliberately wide (the transition
+	// spans tens of MB), so the extremes saturate to ≈0.88, not 1.
+	// Nearly fully cached (tiny remaining space): Case 1 dominates.
+	cs := CaseProbabilities(p, 0, p.Qk)
+	if cs.P1 < 0.85 {
+		t.Errorf("P1 = %g with q=0, want ≈1", cs.P1)
+	}
+	// Own miss, peer hit: Case 2 dominates.
+	cs = CaseProbabilities(p, p.Qk, 0)
+	if cs.P2 < 0.85 {
+		t.Errorf("P2 = %g with q=Qk, qbar=0, want ≈1", cs.P2)
+	}
+	// Both miss: Case 3 dominates.
+	cs = CaseProbabilities(p, p.Qk, p.Qk)
+	if cs.P3 < 0.85 {
+		t.Errorf("P3 = %g with both at Qk, want ≈1", cs.P3)
+	}
+	// A sharp slope recovers the crisp limits.
+	sharp := p
+	sharp.SmoothL = 1
+	if cs := CaseProbabilities(sharp, 0, sharp.Qk); cs.P1 < 0.99 {
+		t.Errorf("sharp P1 = %g, want ≈1", cs.P1)
+	}
+}
+
+// --- Pricing ----------------------------------------------------------------
+
+// Property: the mean-field price stays within [max(0, p̂−η1·Qk), p̂] for any
+// average control in [0,1].
+func TestPriceMeanFieldBounds(t *testing.T) {
+	p := Default()
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		meanX := math.Mod(math.Abs(raw), 1)
+		price := PriceMeanField(p, meanX)
+		lo := math.Max(0, p.PHat-p.Eta1*p.Qk)
+		return price >= lo-1e-12 && price <= p.PHat+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriceMeanFieldMonotone(t *testing.T) {
+	p := Default()
+	if PriceMeanField(p, 0.8) >= PriceMeanField(p, 0.1) {
+		t.Error("higher average supply must lower the price")
+	}
+	if PriceMeanField(p, 0) != p.PHat {
+		t.Error("zero supply should give the maximum price")
+	}
+	over := p
+	over.Eta1 = 1e9
+	if PriceMeanField(over, 1) != 0 {
+		t.Error("price must be floored at zero")
+	}
+}
+
+func TestPriceExact(t *testing.T) {
+	p := Default()
+	// Single EDP: price is p̂ (Eq. 5, M=1 branch).
+	got, err := PriceExact(p, []float64{0.7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p.PHat {
+		t.Errorf("M=1 price = %g, want %g", got, p.PHat)
+	}
+	// Two EDPs: the competitor's supply lowers EDP 0's price.
+	two, err := PriceExact(p, []float64{0.2, 0.9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two >= p.PHat {
+		t.Errorf("competition should lower the price, got %g", two)
+	}
+	want := p.PHat - p.Eta1*p.Qk*0.9
+	if math.Abs(two-want) > 1e-12 {
+		t.Errorf("price = %g, want %g", two, want)
+	}
+	if _, err := PriceExact(p, []float64{0.5}, 3); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}
+
+// PriceExact converges to PriceMeanField as M grows (Eq. 16 → Eq. 17).
+func TestPriceExactConvergesToMeanField(t *testing.T) {
+	p := Default()
+	meanX := 0.4
+	for _, m := range []int{10, 100, 1000} {
+		rates := make([]float64, m)
+		for i := range rates {
+			rates[i] = meanX
+		}
+		exact, err := PriceExact(p, rates, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf := PriceMeanField(p, meanX)
+		if math.Abs(exact-mf) > 1e-9 {
+			t.Errorf("M=%d: exact %g vs mean-field %g", m, exact, mf)
+		}
+	}
+}
+
+// --- Utility ----------------------------------------------------------------
+
+func defaultContext(t *testing.T) *UtilityContext {
+	t.Helper()
+	p := Default()
+	ch, err := NewChannelModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewUtilityContext(p, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Requests = 10
+	ctx.Pop = 0.3
+	ctx.Timeliness = 2
+	ctx.Price = 0.4
+	ctx.QBar = 50
+	ctx.ShareBenefit = 5
+	return ctx
+}
+
+func TestUtilityTermsSigns(t *testing.T) {
+	ctx := defaultContext(t)
+	terms := ctx.Terms(0.5, 5, 60)
+	if terms.Trading < 0 {
+		t.Errorf("trading income must be non-negative, got %g", terms.Trading)
+	}
+	if terms.Sharing < 0 {
+		t.Errorf("sharing benefit must be non-negative, got %g", terms.Sharing)
+	}
+	if terms.Placement <= 0 {
+		t.Errorf("placement cost must be positive for x>0, got %g", terms.Placement)
+	}
+	if terms.Staleness <= 0 {
+		t.Errorf("staleness cost must be positive with requests, got %g", terms.Staleness)
+	}
+	if terms.ShareCost < 0 {
+		t.Errorf("share cost must be non-negative, got %g", terms.ShareCost)
+	}
+	total := terms.Trading + terms.Sharing - terms.Placement - terms.Staleness - terms.ShareCost
+	if math.Abs(terms.Total()-total) > 1e-12 {
+		t.Error("Total() disagrees with the manual sum")
+	}
+	if math.Abs(ctx.Utility(0.5, 5, 60)-total) > 1e-12 {
+		t.Error("Utility disagrees with Terms.Total")
+	}
+}
+
+func TestUtilityPlacementCostQuadratic(t *testing.T) {
+	ctx := defaultContext(t)
+	t0 := ctx.Terms(0, 5, 60).Placement
+	t1 := ctx.Terms(1, 5, 60).Placement
+	if t0 != 0 {
+		t.Errorf("placement cost at x=0 should be 0, got %g", t0)
+	}
+	want := ctx.P.W4 + ctx.P.W5
+	if math.Abs(t1-want) > 1e-9 {
+		t.Errorf("placement cost at x=1 = %g, want %g", t1, want)
+	}
+}
+
+func TestUtilitySharingDisabled(t *testing.T) {
+	ctx := defaultContext(t)
+	ctx.ShareEnabled = false
+	terms := ctx.Terms(0.5, 5, 60)
+	if terms.Sharing != 0 || terms.ShareCost != 0 {
+		t.Error("disabled sharing must zero Φ² and C³")
+	}
+	// Case-2 mass must have moved into Case 3, so the centre-download path
+	// appears in the staleness cost: with q≈Qk and a peer hit available,
+	// disabling sharing increases staleness.
+	ctx2 := defaultContext(t)
+	ctx2.QBar = 10 // peer has cached a lot
+	withShare := ctx2.Terms(0.5, 5, 95).Staleness
+	ctx2.ShareEnabled = false
+	withoutShare := ctx2.Terms(0.5, 5, 95).Staleness
+	if withoutShare <= withShare {
+		t.Errorf("staleness should rise without sharing: %g vs %g", withoutShare, withShare)
+	}
+}
+
+func TestUtilityShareCostNeverNegative(t *testing.T) {
+	ctx := defaultContext(t)
+	ctx.QBar = 90 // peer is worse off than us
+	terms := ctx.Terms(0.5, 5, 30)
+	if terms.ShareCost < 0 {
+		t.Errorf("share cost went negative: %g", terms.ShareCost)
+	}
+}
+
+func TestUtilityIncreasesWithPrice(t *testing.T) {
+	ctx := defaultContext(t)
+	lo := ctx.Utility(0.5, 5, 60)
+	ctx.Price = 0.5
+	hi := ctx.Utility(0.5, 5, 60)
+	if hi <= lo {
+		t.Errorf("utility should increase with price: %g vs %g", hi, lo)
+	}
+}
+
+func TestUtilityContextValidation(t *testing.T) {
+	p := Default()
+	ch, err := NewChannelModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUtilityContext(p, nil); err == nil {
+		t.Error("nil channel should be rejected")
+	}
+	bad := p
+	bad.K = 0
+	if _, err := NewUtilityContext(bad, ch); err == nil {
+		t.Error("invalid params should be rejected")
+	}
+}
+
+func TestQDriftMatchesCacheDrift(t *testing.T) {
+	ctx := defaultContext(t)
+	got := ctx.QDrift(0.5)
+	want := ctx.CacheDrift().Rate(0.5, ctx.Pop, ctx.Timeliness)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("QDrift = %g, CacheDrift.Rate = %g", got, want)
+	}
+}
+
+// Property: trading income is non-decreasing in the price for any state.
+func TestUtilityMonotoneInPrice(t *testing.T) {
+	ctx := defaultContext(t)
+	f := func(rawQ, rawP1, rawP2 float64) bool {
+		if math.IsNaN(rawQ) || math.IsNaN(rawP1) || math.IsNaN(rawP2) ||
+			math.IsInf(rawQ, 0) || math.IsInf(rawP1, 0) || math.IsInf(rawP2, 0) {
+			return true
+		}
+		q := math.Mod(math.Abs(rawQ), ctx.P.Qk)
+		p1 := math.Mod(math.Abs(rawP1), ctx.P.PHat)
+		p2 := math.Mod(math.Abs(rawP2), ctx.P.PHat)
+		lo, hi := math.Min(p1, p2), math.Max(p1, p2)
+		ctx.Price = lo
+		uLo := ctx.Terms(0.5, 5, q).Trading
+		ctx.Price = hi
+		uHi := ctx.Terms(0.5, 5, q).Trading
+		return uHi >= uLo-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the staleness cost decreases with the channel fading coefficient
+// (better channel ⇒ faster transmission ⇒ less delay).
+func TestStalenessMonotoneInFading(t *testing.T) {
+	ctx := defaultContext(t)
+	f := func(rawQ, rawH1, rawH2 float64) bool {
+		if math.IsNaN(rawQ) || math.IsNaN(rawH1) || math.IsNaN(rawH2) ||
+			math.IsInf(rawQ, 0) || math.IsInf(rawH1, 0) || math.IsInf(rawH2, 0) {
+			return true
+		}
+		q := math.Mod(math.Abs(rawQ), ctx.P.Qk)
+		h1 := ctx.P.HMin + math.Mod(math.Abs(rawH1), ctx.P.HMax-ctx.P.HMin)
+		h2 := ctx.P.HMin + math.Mod(math.Abs(rawH2), ctx.P.HMax-ctx.P.HMin)
+		lo, hi := math.Min(h1, h2), math.Max(h1, h2)
+		sLo := ctx.Terms(0.5, lo, q).Staleness
+		sHi := ctx.Terms(0.5, hi, q).Staleness
+		return sHi <= sLo+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total utility decreases in the placement effort beyond the
+// optimum for fixed everything else — specifically, U(1) ≤ U(x) + placement
+// difference, and placement cost itself is convex increasing in x.
+func TestPlacementCostConvexIncreasing(t *testing.T) {
+	ctx := defaultContext(t)
+	f := func(raw1, raw2 float64) bool {
+		if math.IsNaN(raw1) || math.IsNaN(raw2) || math.IsInf(raw1, 0) || math.IsInf(raw2, 0) {
+			return true
+		}
+		x1 := math.Mod(math.Abs(raw1), 1)
+		x2 := math.Mod(math.Abs(raw2), 1)
+		lo, hi := math.Min(x1, x2), math.Max(x1, x2)
+		cLo := ctx.Terms(lo, 5, 50).Placement
+		cHi := ctx.Terms(hi, 5, 50).Placement
+		if cHi < cLo-1e-9 {
+			return false
+		}
+		// Midpoint convexity.
+		mid := ctx.Terms((lo+hi)/2, 5, 50).Placement
+		return mid <= (cLo+cHi)/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Requests scale the demand-side terms linearly.
+func TestUtilityLinearInRequests(t *testing.T) {
+	ctx := defaultContext(t)
+	ctx.Requests = 5
+	t1 := ctx.Terms(0.4, 5, 60)
+	ctx.Requests = 10
+	t2 := ctx.Terms(0.4, 5, 60)
+	if math.Abs(t2.Trading-2*t1.Trading) > 1e-9 {
+		t.Errorf("trading should double with requests: %g vs %g", t2.Trading, t1.Trading)
+	}
+	// Staleness has a request-independent download term; only the
+	// per-requester part doubles.
+	ctx.Requests = 0
+	t0 := ctx.Terms(0.4, 5, 60)
+	perReq1 := t1.Staleness - t0.Staleness
+	perReq2 := t2.Staleness - t0.Staleness
+	if math.Abs(perReq2-2*perReq1) > 1e-9 {
+		t.Errorf("per-requester staleness should double: %g vs %g", perReq2, perReq1)
+	}
+}

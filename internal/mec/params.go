@@ -1,0 +1,207 @@
+// Package mec holds the domain model of the Mobile Edge Caching system from
+// the MFG-CP paper: the parameter set, content popularity/timeliness
+// (Definitions 1–2), the wireless channel and transmission-rate model
+// (Eqs. 1–2), the dynamic trading price (Eq. 5/17), the three service-case
+// probabilities, and the per-EDP utility function (Eqs. 6–10).
+package mec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params collects every model constant. Two presets exist:
+//
+//   - Default() — the calibrated unit system used by the experiments. It keeps
+//     every mantissa and every structural ratio from the paper's Section V but
+//     measures data in MB, rates in MB/s and prices in $/MB, so that incomes,
+//     costs and the optimal control all live on comparable numeric scales.
+//     (The paper's literal constants mix per-byte prices with 10⁸-scale cost
+//     coefficients; only the shapes of its figures are reproducible, and those
+//     depend on the ratios, which we preserve.)
+//   - Paper() — the literal Section-V constants, retained for reference and
+//     for the parameter-sanity tests.
+type Params struct {
+	// Population.
+	M int // number of EDPs (paper: 300)
+	K int // number of content categories (paper: 20)
+
+	// Content and cache dynamics (Eq. 4).
+	Qk     float64 // content data size, MB (paper: 100 MB)
+	W1     float64 // caching-rate drift weight (paper: 1)
+	W2     float64 // popularity-discard weight (paper: 1/20)
+	W3     float64 // timeliness-keep weight (paper: 10)
+	Xi     float64 // ξ ∈ (0,1), timeliness steepness (paper: 0.1)
+	SigmaQ float64 // ϱq, cache diffusion (paper: 0.1)
+
+	// Channel (Eqs. 1–2). h is measured in units of 10⁻⁵ (the paper's fading
+	// range [1,10]×10⁻⁵ becomes [1,10]).
+	ChRate    float64 // ςh, OU changing rate
+	ChMean    float64 // υh, OU long-term mean
+	ChSigma   float64 // ϱh, OU diffusion (paper evaluates {0.1,…}; default 0.1)
+	HMin      float64 // lower bound of the fading range
+	HMax      float64 // upper bound of the fading range
+	Bandwidth float64 // B, rate scale (MB/s per log2 unit; paper: 10 MHz)
+	TxPower   float64 // G, transmission power (paper: 1 W, same for all EDPs)
+	Noise     float64 // ϱ², noise power
+	PathLoss  float64 // τ, path-loss exponent (paper: 3)
+	MeanDist  float64 // d̄, representative EDP→requester distance
+	Interfer  int     // effective number of interfering neighbours in the mean-field rate
+	HubRate   float64 // Hc, centre↔EDP transmission rate (MB/s)
+	RateFloor float64 // lower bound on any transmission rate (guards divisions)
+
+	// Economics.
+	PHat       float64 // p̂, maximum unit trading price ($/MB; paper: 5×10⁻⁷ per byte ⇒ 0.5 $/MB)
+	Eta1       float64 // η1, average-supply→price conversion (Eq. 5)
+	Eta2       float64 // η2, delay→staleness-cost conversion (Eq. 9)
+	SharePrice float64 // p̄k, uniform peer-sharing unit price ($/MB)
+	W4         float64 // linear placement-cost coefficient (Eq. 8)
+	W5         float64 // quadratic placement-cost coefficient (Eq. 8)
+
+	// Service cases.
+	Alpha   float64 // α, tolerated uncached fraction (paper: 20%)
+	SmoothL float64 // l, slope of the logistic Heaviside approximation
+
+	// Popularity / timeliness.
+	ZipfSkew float64 // ι, Zipf steepness of the initial popularity
+	LMax     float64 // maximum timeliness level L_max
+
+	// Horizon.
+	Horizon float64 // T, optimisation epoch length (paper: 1)
+
+	// Initial mean-field distribution λ(0): Gaussian over the remaining-space
+	// fraction q/Qk with the given mean and standard deviation
+	// (paper default: N(0.7, 0.1²)).
+	InitMeanFrac float64
+	InitStdFrac  float64
+}
+
+// Default returns the calibrated parameter set used by all experiments.
+func Default() Params {
+	return Params{
+		M: 300,
+		K: 20,
+
+		Qk:     100,
+		W1:     1,
+		W2:     1.0 / 20.0,
+		W3:     10,
+		Xi:     0.1,
+		SigmaQ: 0.1 * 100, // the paper's ϱq=0.1 is on the q/Qk fraction scale; ×Qk in MB units
+
+		ChRate:    2,
+		ChMean:    5,
+		ChSigma:   0.1 * 5, // ϱh=0.1 on the normalised scale, ×υh in h units
+		HMin:      1,
+		HMax:      10,
+		Bandwidth: 10,
+		TxPower:   1,
+		Noise:     1e-3,
+		PathLoss:  3,
+		MeanDist:  10,
+		Interfer:  4,
+		HubRate:   2, // the centre↔EDP backhaul is much slower than edge links
+		RateFloor: 1,
+
+		PHat:       1.5,
+		Eta1:       2e-3,
+		Eta2:       2.0,
+		SharePrice: 0.3,
+		W4:         25,  // paper mantissa 2.5, calibrated exponent
+		W5:         650, // paper mantissa 0.65, calibrated exponent
+
+		Alpha:   0.20,
+		SmoothL: 0.05,
+
+		ZipfSkew: 0.8,
+		LMax:     5,
+
+		Horizon: 1,
+
+		InitMeanFrac: 0.7,
+		InitStdFrac:  0.1,
+	}
+}
+
+// Paper returns the literal Section-V constants of the paper, in the paper's
+// own (mixed) units. These are kept for reference and parameter-sanity tests;
+// the experiments use Default().
+func Paper() Params {
+	p := Default()
+	p.W4 = 2.5e3
+	p.W5 = 0.65e8
+	p.PHat = 5e-7 // per byte
+	p.Eta1 = 2e-7 // middle of the paper's [1,4]×10⁻⁷ sweep
+	p.SigmaQ = 0.1
+	p.ChSigma = 0.1
+	return p
+}
+
+// Validate checks every structural constraint the model relies on.
+func (p Params) Validate() error {
+	switch {
+	case p.M < 1:
+		return fmt.Errorf("mec: M must be ≥ 1, got %d", p.M)
+	case p.K < 1:
+		return fmt.Errorf("mec: K must be ≥ 1, got %d", p.K)
+	case !(p.Qk > 0):
+		return fmt.Errorf("mec: Qk must be positive, got %g", p.Qk)
+	case p.W1 < 0 || p.W2 < 0 || p.W3 < 0:
+		return fmt.Errorf("mec: w1,w2,w3 must be non-negative, got %g,%g,%g", p.W1, p.W2, p.W3)
+	case !(p.Xi > 0 && p.Xi < 1):
+		return fmt.Errorf("mec: ξ must lie in (0,1), got %g", p.Xi)
+	case p.SigmaQ < 0:
+		return fmt.Errorf("mec: ϱq must be non-negative, got %g", p.SigmaQ)
+	case !(p.ChRate > 0):
+		return fmt.Errorf("mec: ςh must be positive, got %g", p.ChRate)
+	case p.ChSigma < 0:
+		return fmt.Errorf("mec: ϱh must be non-negative, got %g", p.ChSigma)
+	case !(p.HMax > p.HMin):
+		return fmt.Errorf("mec: fading range [%g,%g] is empty", p.HMin, p.HMax)
+	case !(p.Bandwidth > 0):
+		return fmt.Errorf("mec: bandwidth must be positive, got %g", p.Bandwidth)
+	case !(p.TxPower > 0):
+		return fmt.Errorf("mec: transmission power must be positive, got %g", p.TxPower)
+	case !(p.Noise > 0):
+		return fmt.Errorf("mec: noise power must be positive, got %g", p.Noise)
+	case p.PathLoss < 0:
+		return fmt.Errorf("mec: path-loss exponent must be non-negative, got %g", p.PathLoss)
+	case !(p.MeanDist > 0):
+		return fmt.Errorf("mec: mean distance must be positive, got %g", p.MeanDist)
+	case p.Interfer < 0:
+		return fmt.Errorf("mec: interferer count must be non-negative, got %d", p.Interfer)
+	case !(p.HubRate > 0):
+		return fmt.Errorf("mec: hub rate Hc must be positive, got %g", p.HubRate)
+	case !(p.RateFloor > 0):
+		return fmt.Errorf("mec: rate floor must be positive, got %g", p.RateFloor)
+	case !(p.PHat > 0):
+		return fmt.Errorf("mec: p̂ must be positive, got %g", p.PHat)
+	case p.Eta1 < 0 || p.Eta2 < 0:
+		return fmt.Errorf("mec: η1, η2 must be non-negative, got %g, %g", p.Eta1, p.Eta2)
+	case p.SharePrice < 0:
+		return fmt.Errorf("mec: p̄k must be non-negative, got %g", p.SharePrice)
+	case p.W4 < 0:
+		return fmt.Errorf("mec: w4 must be non-negative, got %g", p.W4)
+	case !(p.W5 > 0):
+		return fmt.Errorf("mec: w5 must be positive (Eq. 21 divides by it), got %g", p.W5)
+	case !(p.Alpha > 0 && p.Alpha < 1):
+		return fmt.Errorf("mec: α must lie in (0,1), got %g", p.Alpha)
+	case !(p.SmoothL > 0):
+		return fmt.Errorf("mec: smooth-step slope l must be positive, got %g", p.SmoothL)
+	case !(p.ZipfSkew > 0):
+		return fmt.Errorf("mec: Zipf skew ι must be positive, got %g", p.ZipfSkew)
+	case p.LMax < 0:
+		return fmt.Errorf("mec: L_max must be non-negative, got %g", p.LMax)
+	case !(p.Horizon > 0):
+		return fmt.Errorf("mec: horizon T must be positive, got %g", p.Horizon)
+	case !(p.InitStdFrac > 0):
+		return fmt.Errorf("mec: initial distribution std must be positive, got %g", p.InitStdFrac)
+	case math.IsNaN(p.InitMeanFrac) || p.InitMeanFrac < 0 || p.InitMeanFrac > 1:
+		return fmt.Errorf("mec: initial distribution mean fraction must lie in [0,1], got %g", p.InitMeanFrac)
+	}
+	return nil
+}
+
+// AlphaQ returns the case-threshold α·Qk (the remaining-space level below
+// which the content counts as "cached enough", Case 1).
+func (p Params) AlphaQ() float64 { return p.Alpha * p.Qk }

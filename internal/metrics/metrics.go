@@ -1,0 +1,244 @@
+// Package metrics provides the reporting primitives shared by the experiment
+// runners: labelled time series, ASCII tables and CSV export. Every figure
+// and table of the paper is regenerated as one of these artefacts.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one labelled curve: Times[i] ↦ Values[i].
+type Series struct {
+	Label  string
+	Times  []float64
+	Values []float64
+}
+
+// NewSeries builds a series and validates the lengths.
+func NewSeries(label string, times, values []float64) (Series, error) {
+	if len(times) != len(values) {
+		return Series{}, fmt.Errorf("metrics: series %q: %d times vs %d values", label, len(times), len(values))
+	}
+	return Series{Label: label, Times: times, Values: values}, nil
+}
+
+// Len returns the number of points.
+func (s Series) Len() int { return len(s.Values) }
+
+// Last returns the final value, or NaN for an empty series.
+func (s Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Downsample keeps every stride-th point (always including the last), making
+// text reports readable without losing the curve's shape.
+func (s Series) Downsample(stride int) Series {
+	if stride <= 1 || s.Len() == 0 {
+		return s
+	}
+	out := Series{Label: s.Label}
+	for i := 0; i < s.Len(); i += stride {
+		out.Times = append(out.Times, s.Times[i])
+		out.Values = append(out.Values, s.Values[i])
+	}
+	if last := s.Len() - 1; last%stride != 0 {
+		out.Times = append(out.Times, s.Times[last])
+		out.Values = append(out.Values, s.Values[last])
+	}
+	return out
+}
+
+// SeriesSet is a group of curves sharing an x-axis meaning (e.g. one per
+// parameter value in a sweep figure).
+type SeriesSet struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a curve.
+func (ss *SeriesSet) Add(s Series) { ss.Series = append(ss.Series, s) }
+
+// WriteCSV emits the set as a wide CSV: time column plus one column per
+// series. Series are sampled at their own indices; shorter series pad with
+// empty cells.
+func (ss *SeriesSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{ss.XLabel}
+	maxLen := 0
+	for _, s := range ss.Series {
+		header = append(header, s.Label)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: write CSV header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < maxLen; i++ {
+		for c := range row {
+			row[c] = ""
+		}
+		for si, s := range ss.Series {
+			if i < s.Len() {
+				if row[0] == "" {
+					row[0] = formatFloat(s.Times[i])
+				}
+				row[si+1] = formatFloat(s.Values[i])
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Table is a simple labelled grid for the paper's tables and bar figures.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable builds an empty table with the given columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows pad with empty cells, long rows error.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) > len(t.Columns) {
+		return fmt.Errorf("metrics: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// AddFloatRow appends a row of a label plus formatted numbers.
+func (t *Table) AddFloatRow(label string, vals ...float64) error {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.4f", v))
+	}
+	return t.AddRow(cells...)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("metrics: write table header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write table row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Ratio returns a/b guarded against division by ~zero (returns NaN).
+func Ratio(a, b float64) float64 {
+	if math.Abs(b) < 1e-12 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// Sparkline renders values as a unicode mini-chart, used by the CLI reports
+// to convey curve shapes in plain text.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat("?", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteRune('?')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewSeriesValidation(t *testing.T) {
+	if _, err := NewSeries("a", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	s, err := NewSeries("a", []float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Last() != 4 {
+		t.Errorf("Len/Last wrong: %d/%g", s.Len(), s.Last())
+	}
+	empty := Series{}
+	if !math.IsNaN(empty.Last()) {
+		t.Error("empty Last should be NaN")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	times := make([]float64, 10)
+	vals := make([]float64, 10)
+	for i := range times {
+		times[i] = float64(i)
+		vals[i] = float64(i * i)
+	}
+	s, err := NewSeries("x", times, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Downsample(3)
+	// Keeps 0,3,6,9 — the last point (9) lands on the stride.
+	if d.Len() != 4 {
+		t.Fatalf("downsampled to %d points: %v", d.Len(), d.Times)
+	}
+	if d.Values[d.Len()-1] != 81 {
+		t.Error("last point must be kept")
+	}
+	// Stride not dividing length still keeps the last point.
+	d = s.Downsample(4)
+	if d.Values[d.Len()-1] != 81 {
+		t.Error("last point must be kept for non-dividing stride")
+	}
+	if got := s.Downsample(1); got.Len() != s.Len() {
+		t.Error("stride 1 should be identity")
+	}
+}
+
+func TestSeriesSetCSV(t *testing.T) {
+	set := &SeriesSet{Title: "t", XLabel: "time", YLabel: "v"}
+	a, _ := NewSeries("a", []float64{0, 1}, []float64{10, 20})
+	b, _ := NewSeries("b", []float64{0, 1, 2}, []float64{1, 2, 3})
+	set.Add(a)
+	set.Add(b)
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4: %q", len(lines), buf.String())
+	}
+	if lines[0] != "time,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[3] != "2,,3" {
+		t.Errorf("padded row = %q, want \"2,,3\"", lines[3])
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	if err := tab.AddRow("alpha", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddFloatRow("beta", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("a", "b", "c"); err == nil {
+		t.Error("over-long row should error")
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5000") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	buf.Reset()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "name,value\n") {
+		t.Errorf("CSV header wrong: %q", buf.String())
+	}
+}
+
+func TestTableShortRowPads(t *testing.T) {
+	tab := NewTable("t", "a", "b", "c")
+	if err := tab.AddRow("only"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows[0]) != 3 {
+		t.Errorf("short row not padded: %v", tab.Rows[0])
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 4) != 2.5 {
+		t.Error("Ratio(10,4) wrong")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("division by zero should be NaN")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline has %d runes", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should give empty sparkline")
+	}
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("constant series = %q", got)
+	}
+	if got := Sparkline([]float64{math.NaN(), 1}); []rune(got)[0] != '?' {
+		t.Errorf("NaN should render '?': %q", got)
+	}
+	all := Sparkline([]float64{math.NaN(), math.NaN()})
+	if all != "??" {
+		t.Errorf("all-NaN should be ??: %q", all)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := formatFloat(3); got != "3" {
+		t.Errorf("formatFloat(3) = %q", got)
+	}
+	if got := formatFloat(3.14159); !strings.HasPrefix(got, "3.14") {
+		t.Errorf("formatFloat(3.14159) = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+// Package numerics collects the scalar numerical utilities shared by the
+// MFG-CP solvers: interpolation on grids, quadrature, the logistic smooth
+// step used for the service-case probabilities, probability distributions
+// (normal, Zipf), descriptive statistics and histograms.
+package numerics
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Interp1D linearly interpolates the nodal values vals (len == ax.N) at x,
+// clamping x to the axis range.
+func Interp1D(ax grid.Axis, vals []float64, x float64) (float64, error) {
+	if len(vals) != ax.N {
+		return 0, fmt.Errorf("numerics: Interp1D: %d values for %d nodes", len(vals), ax.N)
+	}
+	i, f := ax.Locate(x)
+	return vals[i]*(1-f) + vals[i+1]*f, nil
+}
+
+// InterpBilinear bilinearly interpolates a flattened 2-D field at (h, q),
+// clamping both coordinates to the grid.
+func InterpBilinear(g grid.Grid2D, field []float64, h, q float64) (float64, error) {
+	if len(field) != g.Size() {
+		return 0, fmt.Errorf("numerics: InterpBilinear: %d values for %d nodes", len(field), g.Size())
+	}
+	i, fh := g.H.Locate(h)
+	j, fq := g.Q.Locate(q)
+	v00 := field[g.Idx(i, j)]
+	v01 := field[g.Idx(i, j+1)]
+	v10 := field[g.Idx(i+1, j)]
+	v11 := field[g.Idx(i+1, j+1)]
+	return v00*(1-fh)*(1-fq) + v01*(1-fh)*fq + v10*fh*(1-fq) + v11*fh*fq, nil
+}
+
+// GradientQ computes the central-difference partial derivative ∂field/∂q at
+// every node of the grid, with one-sided differences on the q boundaries.
+// This is the estimator of ∂qV used by the closed-form optimal control
+// (Theorem 1, Eq. 21). dst must have length g.Size(); it may alias field only
+// if a corrupted result is acceptable, so callers pass a separate buffer.
+func GradientQ(g grid.Grid2D, dst, field []float64) error {
+	if len(field) != g.Size() || len(dst) != g.Size() {
+		return fmt.Errorf("numerics: GradientQ: field %d, dst %d, grid %d", len(field), len(dst), g.Size())
+	}
+	dq := g.Q.Step()
+	nq := g.Q.N
+	for i := 0; i < g.H.N; i++ {
+		row := i * nq
+		dst[row] = (field[row+1] - field[row]) / dq
+		for j := 1; j < nq-1; j++ {
+			dst[row+j] = (field[row+j+1] - field[row+j-1]) / (2 * dq)
+		}
+		dst[row+nq-1] = (field[row+nq-1] - field[row+nq-2]) / dq
+	}
+	return nil
+}
+
+// GradientH computes ∂field/∂h analogously to GradientQ.
+func GradientH(g grid.Grid2D, dst, field []float64) error {
+	if len(field) != g.Size() || len(dst) != g.Size() {
+		return fmt.Errorf("numerics: GradientH: field %d, dst %d, grid %d", len(field), len(dst), g.Size())
+	}
+	dh := g.H.Step()
+	nq := g.Q.N
+	nh := g.H.N
+	for j := 0; j < nq; j++ {
+		dst[j] = (field[nq+j] - field[j]) / dh
+		for i := 1; i < nh-1; i++ {
+			dst[i*nq+j] = (field[(i+1)*nq+j] - field[(i-1)*nq+j]) / (2 * dh)
+		}
+		dst[(nh-1)*nq+j] = (field[(nh-1)*nq+j] - field[(nh-2)*nq+j]) / dh
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package pde
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/numerics"
+)
+
+// FPKForm selects the spatial discretisation of the forward equation.
+type FPKForm int
+
+const (
+	// Conservative solves the divergence (Kolmogorov-forward) form
+	// ∂tλ + ∂h(b_h λ) + ∂q(b_q λ) = D_h ∂hhλ + D_q ∂qqλ with zero-flux
+	// boundaries. Mass is conserved to round-off and the density stays
+	// non-negative. This is the default.
+	Conservative FPKForm = iota
+	// Advective solves the paper-literal non-conservative form of Eq. (15),
+	// ∂tλ + b_h ∂hλ + b_q ∂qλ = D_h ∂hhλ + D_q ∂qqλ, kept as an ablation.
+	// It loses mass wherever ∂q b_q ≠ 0 (the control depends on q); the
+	// solver renormalises when Renormalize is set and reports the raw drift.
+	Advective
+)
+
+// FPKProblem specifies the forward transport of the mean-field density λ.
+type FPKProblem struct {
+	Grid grid.Grid2D
+	Time grid.TimeMesh
+
+	DiffH, DiffQ float64 // ½ϱh², ½ϱq²
+
+	// DriftH is the channel drift at (t, h) (shared with the HJB problem).
+	DriftH func(t, h float64) float64
+	// DriftQ is the remaining-space drift at (t, h, q) with the optimal
+	// control already substituted: b_q(t, h, q) = Qk[−w1·x*(t,h,q) − …].
+	DriftQ func(t, h, q float64) float64
+
+	Form FPKForm
+	// Stepping selects implicit (default, unconditionally stable) or
+	// explicit (CFL-bounded, ablation) time integration. The explicit
+	// integrator supports the conservative form only.
+	Stepping Stepping
+	// Renormalize rescales the density to unit mass after every step. With
+	// the conservative form this only removes round-off; with the advective
+	// form it compensates the structural mass loss.
+	Renormalize bool
+}
+
+// Validate checks that the problem is completely specified.
+func (p *FPKProblem) Validate() error {
+	if p.DriftH == nil || p.DriftQ == nil {
+		return errors.New("pde: FPKProblem: DriftH and DriftQ are required")
+	}
+	if p.DiffH < 0 || p.DiffQ < 0 {
+		return fmt.Errorf("pde: FPKProblem: diffusion coefficients must be non-negative, got %g, %g", p.DiffH, p.DiffQ)
+	}
+	if err := p.Grid.H.Validate(); err != nil {
+		return err
+	}
+	if err := p.Grid.Q.Validate(); err != nil {
+		return err
+	}
+	if p.Time.Steps < 1 {
+		return fmt.Errorf("pde: FPKProblem: time mesh needs ≥1 step, got %d", p.Time.Steps)
+	}
+	if p.Form != Conservative && p.Form != Advective {
+		return fmt.Errorf("pde: FPKProblem: unknown form %d", int(p.Form))
+	}
+	if p.Stepping != Implicit && p.Stepping != Explicit {
+		return fmt.Errorf("pde: FPKProblem: unknown stepping %d", int(p.Stepping))
+	}
+	if p.Stepping == Explicit && p.Form != Conservative {
+		return fmt.Errorf("pde: FPKProblem: the explicit integrator supports the conservative form only")
+	}
+	return nil
+}
+
+// FPKSolution stores the density at every time node and the mass trajectory
+// before renormalisation (a diagnostic for the advective ablation).
+type FPKSolution struct {
+	Grid    grid.Grid2D
+	Time    grid.TimeMesh
+	Lambda  [][]float64 // density at t_n, flattened
+	RawMass []float64   // ∫∫λ before renormalisation at each step
+}
+
+// DensityAt bilinearly interpolates λ at (t, h, q).
+func (s *FPKSolution) DensityAt(t, h, q float64) (float64, error) {
+	dt := s.Time.Dt()
+	n := int(t/dt + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > s.Time.Steps {
+		n = s.Time.Steps
+	}
+	return numerics.InterpBilinear(s.Grid, s.Lambda[n], h, q)
+}
+
+// Mass returns the rectangle-rule mass Σλ·dh·dq of the density at time index n.
+func (s *FPKSolution) Mass(n int) float64 {
+	var sum float64
+	for _, v := range s.Lambda[n] {
+		sum += v
+	}
+	return sum * s.Grid.CellArea()
+}
+
+// SolveFPK integrates the forward equation from the initial density λ0
+// (flattened over the grid) through the whole time mesh using Lie splitting
+// with one implicit tridiagonal sweep per dimension per step.
+func SolveFPK(p *FPKProblem, lambda0 []float64) (*FPKSolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.Grid
+	if err := checkField("initial density", lambda0, g.Size()); err != nil {
+		return nil, err
+	}
+	for _, v := range lambda0 {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("pde: SolveFPK: initial density must be non-negative and finite, found %g", v)
+		}
+	}
+	nh, nq := g.H.N, g.Q.N
+	steps := p.Time.Steps
+	dt := p.Time.Dt()
+	cell := g.CellArea()
+
+	sol := &FPKSolution{
+		Grid:    g,
+		Time:    p.Time,
+		Lambda:  make([][]float64, steps+1),
+		RawMass: make([]float64, steps+1),
+	}
+	cur := append([]float64(nil), lambda0...)
+	sol.Lambda[0] = cur
+	sol.RawMass[0] = mass(cur, cell)
+
+	swH := newSweeper(nh)
+	swQ := newSweeper(nq)
+
+	for n := 0; n < steps; n++ {
+		t := p.Time.At(n)
+		next := g.NewField()
+		copy(next, sol.Lambda[n])
+
+		// Sweep in h (stride nq) for every q-column.
+		for j := 0; j < nq; j++ {
+			gather(swH.rhs, next, j, nq, nh)
+			for i := 0; i < nh; i++ {
+				swH.b[i] = p.DriftH(t, g.H.At(i))
+			}
+			var err error
+			switch {
+			case p.Stepping == Explicit:
+				err = cflError(swH.explicitForwardConservative(dt, g.H.Step(), p.DiffH), steps)
+			case p.Form == Conservative:
+				err = swH.solveForwardConservative(dt, g.H.Step(), p.DiffH)
+			default:
+				err = swH.solveForwardAdvective(dt, g.H.Step(), p.DiffH)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pde: FPK h-sweep at step %d, column %d: %w", n, j, err)
+			}
+			scatter(next, swH.sol, j, nq, nh)
+		}
+
+		// Sweep in q (stride 1) for every h-row.
+		for i := 0; i < nh; i++ {
+			h := g.H.At(i)
+			start := i * nq
+			gather(swQ.rhs, next, start, 1, nq)
+			for j := 0; j < nq; j++ {
+				swQ.b[j] = p.DriftQ(t, h, g.Q.At(j))
+			}
+			var err error
+			switch {
+			case p.Stepping == Explicit:
+				err = cflError(swQ.explicitForwardConservative(dt, g.Q.Step(), p.DiffQ), steps)
+			case p.Form == Conservative:
+				err = swQ.solveForwardConservative(dt, g.Q.Step(), p.DiffQ)
+			default:
+				err = swQ.solveForwardAdvective(dt, g.Q.Step(), p.DiffQ)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pde: FPK q-sweep at step %d, row %d: %w", n, i, err)
+			}
+			scatter(next, swQ.sol, start, 1, nq)
+		}
+
+		m := mass(next, cell)
+		sol.RawMass[n+1] = m
+		if p.Renormalize && m > 0 {
+			inv := sol.RawMass[0] / m
+			for k := range next {
+				next[k] *= inv
+			}
+		}
+		// Clip the tiny negative undershoots that renormalisation of the
+		// advective form can introduce (the conservative form never does).
+		for k := range next {
+			if next[k] < 0 {
+				next[k] = 0
+			}
+		}
+		sol.Lambda[n+1] = next
+	}
+	return sol, nil
+}
+
+func mass(field []float64, cell float64) float64 {
+	var s float64
+	for _, v := range field {
+		s += v
+	}
+	return s * cell
+}
+
+// GaussianDensity builds a product-Gaussian initial density on the grid:
+// N(meanH, sdH²) in h times N(meanQ, sdQ²) in q, normalised to unit
+// rectangle-rule mass. It is the λ(0) initialisation used throughout the
+// paper's evaluation (Section V).
+func GaussianDensity(g grid.Grid2D, meanH, sdH, meanQ, sdQ float64) ([]float64, error) {
+	if sdH <= 0 || sdQ <= 0 {
+		return nil, fmt.Errorf("pde: GaussianDensity: standard deviations must be positive, got %g, %g", sdH, sdQ)
+	}
+	f := g.NewField()
+	for i := 0; i < g.H.N; i++ {
+		ph := numerics.NormalPDF(meanH, sdH, g.H.At(i))
+		for j := 0; j < g.Q.N; j++ {
+			f[g.Idx(i, j)] = ph * numerics.NormalPDF(meanQ, sdQ, g.Q.At(j))
+		}
+	}
+	m := mass(f, g.CellArea())
+	if m <= 0 {
+		return nil, errors.New("pde: GaussianDensity: density mass vanished on the grid (mean far outside range?)")
+	}
+	for k := range f {
+		f[k] /= m
+	}
+	return f, nil
+}

@@ -1,0 +1,213 @@
+package pde
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/numerics"
+)
+
+// HJBProblem specifies the backward HJB equation (Eq. 20)
+//
+//	∂tV + b_h(t,h)·∂hV + b_q(t,x*,h,q)·∂qV + D_h·∂hhV + D_q·∂qqV
+//	   + U(t, x*, h, q) = 0,   V(T, ·) = Terminal(·)
+//
+// where the control x* is eliminated through its closed-form maximiser
+// (Theorem 1) evaluated from the current ∂qV estimate. All time-dependent
+// model data (price, mean peer cache, workload) is supplied through the
+// callbacks, which the MFG layer closes over the mean-field estimator.
+type HJBProblem struct {
+	Grid grid.Grid2D
+	Time grid.TimeMesh
+
+	// DiffH and DiffQ are the diffusion coefficients ½ϱh² and ½ϱq².
+	DiffH, DiffQ float64
+
+	// DriftH is the channel drift ½ςh(υh−h); it does not depend on control.
+	DriftH func(t, h float64) float64
+	// DriftQ is the remaining-space drift Qk[−w1x − w2Π + w3ξ^L].
+	DriftQ func(t, x float64) float64
+	// Control is the closed-form optimal caching rate of Eq. (21) given the
+	// current estimate of ∂qV. It must return a value in [0, 1].
+	Control func(t, h, q, dVdq float64) float64
+	// Running is the instantaneous utility U(t, x, h, q) under the current
+	// mean field.
+	Running func(t, x, h, q float64) float64
+	// Terminal is the scrap value V(T, h, q); the paper uses zero.
+	Terminal func(h, q float64) float64
+
+	// Stepping selects implicit (default, unconditionally stable) or
+	// explicit (CFL-bounded, ablation) time integration.
+	Stepping Stepping
+}
+
+// Validate checks that the problem is completely specified.
+func (p *HJBProblem) Validate() error {
+	if p.DriftH == nil || p.DriftQ == nil || p.Control == nil || p.Running == nil {
+		return errors.New("pde: HJBProblem: DriftH, DriftQ, Control and Running are all required")
+	}
+	if p.DiffH < 0 || p.DiffQ < 0 {
+		return fmt.Errorf("pde: HJBProblem: diffusion coefficients must be non-negative, got %g, %g", p.DiffH, p.DiffQ)
+	}
+	if err := p.Grid.H.Validate(); err != nil {
+		return err
+	}
+	if err := p.Grid.Q.Validate(); err != nil {
+		return err
+	}
+	if p.Time.Steps < 1 {
+		return fmt.Errorf("pde: HJBProblem: time mesh needs ≥1 step, got %d", p.Time.Steps)
+	}
+	if p.Stepping != Implicit && p.Stepping != Explicit {
+		return fmt.Errorf("pde: HJBProblem: unknown stepping %d", int(p.Stepping))
+	}
+	return nil
+}
+
+// HJBSolution stores the value function and optimal control on every time
+// node: V[n] and X[n] are flattened fields at t_n = n·dt. X[Steps] equals
+// X[Steps-1] (the control on the final interval).
+type HJBSolution struct {
+	Grid grid.Grid2D
+	Time grid.TimeMesh
+	V    [][]float64
+	X    [][]float64
+}
+
+// ValueAt bilinearly interpolates V at (t, h, q).
+func (s *HJBSolution) ValueAt(t, h, q float64) (float64, error) {
+	n := s.timeIndex(t)
+	return numerics.InterpBilinear(s.Grid, s.V[n], h, q)
+}
+
+// ControlAt bilinearly interpolates the optimal caching rate at (t, h, q),
+// clamped to [0, 1].
+func (s *HJBSolution) ControlAt(t, h, q float64) (float64, error) {
+	n := s.timeIndex(t)
+	x, err := numerics.InterpBilinear(s.Grid, s.X[n], h, q)
+	if err != nil {
+		return 0, err
+	}
+	return numerics.Clamp01(x), nil
+}
+
+func (s *HJBSolution) timeIndex(t float64) int {
+	dt := s.Time.Dt()
+	n := int(t/dt + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > s.Time.Steps {
+		n = s.Time.Steps
+	}
+	return n
+}
+
+// SolveHJB integrates the HJB equation backward from t = T to t = 0 with Lie
+// operator splitting: at each step the control is frozen at its closed-form
+// maximiser computed from ∂qV of the later time level, the running utility is
+// added explicitly, and the advection–diffusion operators in h and q are
+// applied implicitly (one tridiagonal solve per grid line each). The scheme
+// is unconditionally stable and monotone.
+func SolveHJB(p *HJBProblem) (*HJBSolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.Grid
+	nh, nq := g.H.N, g.Q.N
+	steps := p.Time.Steps
+	dt := p.Time.Dt()
+
+	sol := &HJBSolution{
+		Grid: g,
+		Time: p.Time,
+		V:    make([][]float64, steps+1),
+		X:    make([][]float64, steps+1),
+	}
+
+	// Terminal condition.
+	vT := g.NewField()
+	if p.Terminal != nil {
+		for i := 0; i < nh; i++ {
+			for j := 0; j < nq; j++ {
+				vT[g.Idx(i, j)] = p.Terminal(g.H.At(i), g.Q.At(j))
+			}
+		}
+	}
+	sol.V[steps] = vT
+
+	swH := newSweeper(nh)
+	swQ := newSweeper(nq)
+	grad := g.NewField()
+	work := g.NewField()
+
+	for n := steps - 1; n >= 0; n-- {
+		t := p.Time.At(n)
+		vNext := sol.V[n+1]
+
+		// 1. Closed-form control from ∂qV at the later time level.
+		if err := numerics.GradientQ(g, grad, vNext); err != nil {
+			return nil, err
+		}
+		x := g.NewField()
+		for i := 0; i < nh; i++ {
+			h := g.H.At(i)
+			for j := 0; j < nq; j++ {
+				idx := g.Idx(i, j)
+				x[idx] = numerics.Clamp01(p.Control(t, h, g.Q.At(j), grad[idx]))
+			}
+		}
+		sol.X[n] = x
+
+		// 2. Explicit source: W = V^{n+1} + dt·U(t, x*, ·).
+		for i := 0; i < nh; i++ {
+			h := g.H.At(i)
+			for j := 0; j < nq; j++ {
+				idx := g.Idx(i, j)
+				work[idx] = vNext[idx] + dt*p.Running(t, x[idx], h, g.Q.At(j))
+			}
+		}
+
+		// 3. Sweep in h (stride nq) for every q-column.
+		for j := 0; j < nq; j++ {
+			gather(swH.rhs, work, j, nq, nh)
+			for i := 0; i < nh; i++ {
+				swH.b[i] = p.DriftH(t, g.H.At(i))
+			}
+			var err error
+			if p.Stepping == Explicit {
+				err = cflError(swH.explicitBackwardValue(dt, g.H.Step(), p.DiffH), steps)
+			} else {
+				err = swH.solveBackwardValue(dt, g.H.Step(), p.DiffH)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pde: HJB h-sweep at step %d, column %d: %w", n, j, err)
+			}
+			scatter(work, swH.sol, j, nq, nh)
+		}
+
+		// 4. Sweep in q (stride 1) for every h-row.
+		vn := g.NewField()
+		for i := 0; i < nh; i++ {
+			start := i * nq
+			gather(swQ.rhs, work, start, 1, nq)
+			for j := 0; j < nq; j++ {
+				swQ.b[j] = p.DriftQ(t, x[start+j])
+			}
+			var err error
+			if p.Stepping == Explicit {
+				err = cflError(swQ.explicitBackwardValue(dt, g.Q.Step(), p.DiffQ), steps)
+			} else {
+				err = swQ.solveBackwardValue(dt, g.Q.Step(), p.DiffQ)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pde: HJB q-sweep at step %d, row %d: %w", n, i, err)
+			}
+			scatter(vn, swQ.sol, start, 1, nq)
+		}
+		sol.V[n] = vn
+	}
+	sol.X[steps] = sol.X[steps-1]
+	return sol, nil
+}

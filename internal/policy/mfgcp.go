@@ -1,0 +1,233 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// MFGCP is the proposed framework: one mean-field equilibrium per requested
+// content per epoch (Algorithm 1 line 9 calling Algorithm 2), after which
+// every EDP reads its caching rate from the shared feedback strategy
+// x*(t, h, q). Because the equilibrium is computed once for the generic
+// player, the strategy-determination cost is independent of M — the property
+// Table II demonstrates.
+type MFGCP struct {
+	// Share toggles paid peer sharing. MFG-CP uses true; the paper's MFG
+	// baseline is the same framework with sharing removed.
+	Share bool
+	// TolerateNonConvergence accepts the partial equilibrium when the
+	// best-response iteration hits ψ_th, instead of failing the epoch.
+	TolerateNonConvergence bool
+	// Workers bounds the number of per-content equilibria solved
+	// concurrently during Prepare; 0 means one worker per CPU. The contents
+	// of one epoch are independent, so the result is identical to the
+	// sequential solve.
+	Workers int
+	// DisableWarmStart turns off seeding each epoch's solves with the
+	// previous epoch's equilibria. Warm starting exploits the slow drift of
+	// demand across epochs (Algorithm 1's assumption) and typically halves
+	// the best-response iterations after the first epoch.
+	DisableWarmStart bool
+	// Capacity, when positive, caps the total caching space an EDP may
+	// spend per epoch across all contents. The per-content equilibrium
+	// strategies are then post-processed by the fractional knapsack of the
+	// paper's Section IV-C Remark: contents are admitted by utility density
+	// and the marginal one fractionally, and each admitted fraction scales
+	// the content's caching rate.
+	Capacity float64
+	// CapacityPaths is the ensemble size used to estimate each content's
+	// utility value for the knapsack (default 16).
+	CapacityPaths int
+
+	equilibria []*core.Equilibrium // per content; nil when not requested
+	admit      []float64           // knapsack admission fraction per content (nil = all 1)
+	k          int
+}
+
+// NewMFGCP returns the full MFG-CP policy.
+func NewMFGCP() *MFGCP { return &MFGCP{Share: true, TolerateNonConvergence: true} }
+
+// NewMFG returns the paper's MFG baseline: MFG-CP without content sharing.
+func NewMFG() *MFGCP { return &MFGCP{Share: false, TolerateNonConvergence: true} }
+
+// Name implements Policy.
+func (p *MFGCP) Name() string {
+	if p.Share {
+		return "MFG-CP"
+	}
+	return "MFG"
+}
+
+// SharingEnabled implements Policy.
+func (p *MFGCP) SharingEnabled() bool { return p.Share }
+
+// Prepare solves one equilibrium per content in the epoch's caching set
+// K' = {k : |I_k| > 0} (Algorithm 1 line 5).
+func (p *MFGCP) Prepare(ctx *EpochContext) error {
+	if err := ctx.Validate(); err != nil {
+		return err
+	}
+	cfg := ctx.Solver
+	cfg.Params = ctx.Params
+	cfg.ShareEnabled = p.Share
+	p.k = ctx.Params.K
+	previous := p.equilibria
+	p.equilibria = make([]*core.Equilibrium, p.k)
+
+	warmFor := func(k int) *core.Equilibrium {
+		if p.DisableWarmStart || k >= len(previous) {
+			return nil
+		}
+		ws := previous[k]
+		if ws == nil || ws.HJB == nil || ws.FPK == nil {
+			return nil
+		}
+		// The grid is determined by (NH, NQ, Steps, Qk, fading range); a
+		// mismatch (e.g. a Qk sweep between epochs) falls back to cold.
+		if ws.Grid.H.N != cfg.NH || ws.Grid.Q.N != cfg.NQ || ws.Time.Steps != cfg.Steps ||
+			ws.Config.Params.Qk != cfg.Params.Qk ||
+			ws.Config.Params.HMin != cfg.Params.HMin || ws.Config.Params.HMax != cfg.Params.HMax {
+			return nil
+		}
+		// Warm starting only pays when the demand drifted mildly: unwinding
+		// a far-away fixed point (e.g. a content whose popularity collapsed)
+		// costs more iterations than a cold start, which converges almost
+		// immediately for weak demand.
+		next := ctx.Workloads[k]
+		if relDiff(ws.Workload.Requests, next.Requests) > 0.25 ||
+			relDiff(ws.Workload.Pop, next.Pop) > 0.25 ||
+			relDiff(ws.Workload.Timeliness, next.Timeliness) > 0.25 {
+			return nil
+		}
+		return ws
+	}
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > p.k {
+		workers = p.k
+	}
+	jobs := make(chan int)
+	errs := make([]error, p.k)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				kcfg := cfg
+				kcfg.WarmStart = warmFor(k)
+				eq, err := core.Solve(kcfg, ctx.Workloads[k])
+				if err != nil {
+					if errors.Is(err, core.ErrNotConverged) && p.TolerateNonConvergence && eq != nil {
+						p.equilibria[k] = eq
+						continue
+					}
+					errs[k] = fmt.Errorf("policy: %s: content %d: %w", p.Name(), k, err)
+					continue
+				}
+				p.equilibria[k] = eq
+			}
+		}()
+	}
+	for k := 0; k < p.k; k++ {
+		if ctx.Workloads[k].Requests <= 0 {
+			continue // not in K': no demand this epoch
+		}
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return p.applyCapacity(ctx)
+}
+
+// applyCapacity derives the knapsack admission fractions when a capacity
+// budget is configured (Section IV-C Remark).
+func (p *MFGCP) applyCapacity(ctx *EpochContext) error {
+	p.admit = nil
+	if p.Capacity <= 0 {
+		return nil
+	}
+	paths := p.CapacityPaths
+	if paths <= 0 {
+		paths = 16
+	}
+	items, err := core.CapacityItems(p.equilibria, ctx.Seed, paths)
+	if err != nil {
+		return fmt.Errorf("policy: %s: capacity items: %w", p.Name(), err)
+	}
+	frac, err := core.AllocateFractional(items, p.Capacity)
+	if err != nil {
+		return fmt.Errorf("policy: %s: capacity allocation: %w", p.Name(), err)
+	}
+	p.admit = make([]float64, p.k)
+	for i, it := range items {
+		p.admit[it.Content] = frac[i]
+	}
+	return nil
+}
+
+// Rate implements Policy by evaluating the equilibrium feedback strategy,
+// scaled by the knapsack admission fraction when a capacity budget is set.
+// Contents outside K' are not cached.
+func (p *MFGCP) Rate(_, k int, t, h, q float64) (float64, error) {
+	if err := checkContent(k, p.k); err != nil {
+		return 0, err
+	}
+	eq := p.equilibria[k]
+	if eq == nil {
+		return 0, nil
+	}
+	x, err := eq.HJB.ControlAt(t, h, q)
+	if err != nil {
+		return 0, err
+	}
+	if p.admit != nil {
+		x *= p.admit[k]
+	}
+	return x, nil
+}
+
+// Admission returns the knapsack admission fraction of content k (1 when no
+// capacity budget is configured).
+func (p *MFGCP) Admission(k int) (float64, error) {
+	if err := checkContent(k, p.k); err != nil {
+		return 0, err
+	}
+	if p.admit == nil {
+		return 1, nil
+	}
+	return p.admit[k], nil
+}
+
+// Equilibrium exposes the solved equilibrium of content k (nil if the content
+// was not requested this epoch). The market simulator uses it for the
+// mean-field price and sharing-benefit bookkeeping; the experiments use it
+// for the density and strategy figures.
+func (p *MFGCP) Equilibrium(k int) (*core.Equilibrium, error) {
+	if err := checkContent(k, p.k); err != nil {
+		return nil, err
+	}
+	return p.equilibria[k], nil
+}
+
+// relDiff is the relative difference |a−b| / max(|a|, |b|, ε).
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den < 1e-9 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

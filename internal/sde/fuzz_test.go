@@ -1,0 +1,45 @@
+package sde
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzReflectInto hardens the boundary-reflection kernel used by every
+// Euler–Maruyama step: any finite input must land inside [lo, hi], inputs
+// already inside must pass through unchanged, and the fold must be
+// idempotent.
+func FuzzReflectInto(f *testing.F) {
+	f.Add(0.5, 0.0, 1.0)
+	f.Add(-3.7, 0.0, 1.0)
+	f.Add(1e12, -5.0, 5.0)
+	f.Add(2.0, 2.0, 2.0) // degenerate interval
+	f.Add(-0.0, 0.0, 100.0)
+
+	f.Fuzz(func(t *testing.T, x, lo, hi float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(lo) || math.IsNaN(hi) ||
+			math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return
+		}
+		if hi-lo > 1e100 || math.Abs(x) > 1e100 {
+			return // avoid float overflow artefacts in the fold arithmetic
+		}
+		y := ReflectInto(x, lo, hi)
+		if hi <= lo {
+			if y != lo {
+				t.Fatalf("degenerate interval should pin to lo: got %g", y)
+			}
+			return
+		}
+		if y < lo-1e-9 || y > hi+1e-9 {
+			t.Fatalf("ReflectInto(%g, %g, %g) = %g escaped the interval", x, lo, hi, y)
+		}
+		if x >= lo && x <= hi && math.Abs(y-x) > 1e-9*(1+math.Abs(x)) {
+			t.Fatalf("in-range input changed: %g → %g", x, y)
+		}
+		again := ReflectInto(y, lo, hi)
+		if math.Abs(again-y) > 1e-9*(1+math.Abs(y)) {
+			t.Fatalf("fold not idempotent: %g → %g", y, again)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package sde
+
+import (
+	"math/rand"
+)
+
+// NewRNG returns a deterministic RNG for the given seed. All stochastic
+// components of the repository (simulator, trace generator, Monte-Carlo
+// validation) derive their randomness from explicitly seeded streams so every
+// experiment is exactly reproducible.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SplitMix advances a 64-bit SplitMix state and returns the next value.
+// It is used to derive independent per-entity seeds (one per EDP, one per
+// content) from a single experiment seed without correlation between streams.
+func SplitMix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives the i-th child seed from a parent
+// seed. Children with distinct indices are statistically independent.
+func DeriveSeed(parent int64, i int) int64 {
+	state := uint64(parent) ^ 0xd1b54a32d192ed03
+	for k := 0; k <= i%8; k++ {
+		SplitMix(&state)
+	}
+	state ^= uint64(i) * 0x9e3779b97f4a7c15
+	return int64(SplitMix(&state))
+}
+
+// NewChildRNG returns a deterministic RNG for child stream i of a parent seed.
+func NewChildRNG(parent int64, i int) *rand.Rand {
+	return NewRNG(DeriveSeed(parent, i))
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mec"
+	"repro/internal/numerics"
+	"repro/internal/sde"
+)
+
+// RequesterConfig enables the requester-level demand model of the paper's
+// system model (Section II): a group J of content requesters with positions
+// and random mobility, each associated with its geographically nearest EDP
+// ("each requester is associated with a default serving EDP that is nearest
+// geographically"). Requests then arrive at EDPs through the association map
+// instead of being split uniformly, and the per-EDP timeliness level L_{i,k}
+// is the average of the requesters' declared requirements (Definition 2).
+type RequesterConfig struct {
+	// J is the number of requesters (0 disables the requester level and the
+	// simulator falls back to homogeneous per-EDP demand).
+	J int
+	// Speed is the distance a requester moves per epoch (random direction,
+	// reflected at the area boundary) — the "random mobility of requesters"
+	// driving the channel randomness in Eq. 1.
+	Speed float64
+	// RequestsPerRequester is the mean number of requests one requester
+	// issues per epoch, split over contents by the trace's day shares.
+	RequestsPerRequester float64
+	// TimelinessNoise is the spread of individual timeliness declarations
+	// around the content's trace-derived level L_k.
+	TimelinessNoise float64
+}
+
+// Validate checks the requester configuration.
+func (c RequesterConfig) Validate() error {
+	if c.J < 0 {
+		return fmt.Errorf("sim: requester count must be non-negative, got %d", c.J)
+	}
+	if c.J == 0 {
+		return nil
+	}
+	if c.Speed < 0 {
+		return fmt.Errorf("sim: requester speed must be non-negative, got %g", c.Speed)
+	}
+	if c.RequestsPerRequester < 0 {
+		return fmt.Errorf("sim: requests per requester must be non-negative, got %g", c.RequestsPerRequester)
+	}
+	if c.TimelinessNoise < 0 {
+		return fmt.Errorf("sim: timeliness noise must be non-negative, got %g", c.TimelinessNoise)
+	}
+	return nil
+}
+
+// requester is one member of the group J.
+type requester struct {
+	x, y float64
+	home int     // index of the associated (nearest) EDP
+	h    float64 // per-link channel fading coefficient (Eq. 1 is per (i,j) link)
+}
+
+// requesterPopulation carries the mutable requester state across epochs.
+type requesterPopulation struct {
+	cfg  RequesterConfig
+	area float64
+	rs   []requester
+}
+
+// newRequesterPopulation scatters J requesters uniformly over the area with
+// per-link fading drawn from the OU stationary law.
+func newRequesterPopulation(cfg RequesterConfig, area float64, ou sde.OU, hMin, hMax float64, rng *rand.Rand) *requesterPopulation {
+	sd := math.Sqrt(ou.StationaryVar())
+	rs := make([]requester, cfg.J)
+	for i := range rs {
+		rs[i] = requester{
+			x: rng.Float64() * area,
+			y: rng.Float64() * area,
+			h: sde.ReflectInto(ou.Mean+sd*rng.NormFloat64(), hMin, hMax),
+		}
+	}
+	return &requesterPopulation{cfg: cfg, area: area, rs: rs}
+}
+
+// stepFading advances every requester's link fading one Euler–Maruyama step
+// of the Eq. 1 Ornstein–Uhlenbeck dynamics, reflected into the fading range.
+func (p *requesterPopulation) stepFading(ou sde.OU, hMin, hMax, dt float64, rng *rand.Rand) {
+	sq := math.Sqrt(dt)
+	for i := range p.rs {
+		h := p.rs[i].h
+		h += ou.Drift(0, h)*dt + ou.Diffusion(0, h)*sq*rng.NormFloat64()
+		p.rs[i].h = sde.ReflectInto(h, hMin, hMax)
+	}
+}
+
+// meanInvRate returns, per EDP, the mean reciprocal transmission rate
+// 1/H_{i,j} over the EDP's associated requesters (the quantity the Eq. 9
+// staleness sum actually needs: Σ_j (…)/H_{i,j} = |I|·(…)·E[1/H]). EDPs
+// without requesters fall back to their own representative rate.
+func (p *requesterPopulation) meanInvRate(ch *mec.ChannelModel, agents []edp) []float64 {
+	sums := make([]float64, len(agents))
+	counts := make([]int, len(agents))
+	for i := range p.rs {
+		r := &p.rs[i]
+		sums[r.home] += 1 / ch.Rate(r.h)
+		counts[r.home]++
+	}
+	out := make([]float64, len(agents))
+	for i := range agents {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+		} else {
+			out[i] = 1 / ch.Rate(agents[i].h)
+		}
+	}
+	return out
+}
+
+// move advances every requester one epoch of random mobility: a uniformly
+// random direction at the configured speed, reflected into the area.
+func (p *requesterPopulation) move(rng *rand.Rand) {
+	for i := range p.rs {
+		theta := 2 * math.Pi * rng.Float64()
+		p.rs[i].x = sde.ReflectInto(p.rs[i].x+p.cfg.Speed*math.Cos(theta), 0, p.area)
+		p.rs[i].y = sde.ReflectInto(p.rs[i].y+p.cfg.Speed*math.Sin(theta), 0, p.area)
+	}
+}
+
+// associate assigns every requester to its nearest EDP (the default serving
+// EDP of the paper) and returns the per-EDP requester counts.
+func (p *requesterPopulation) associate(agents []edp) []int {
+	counts := make([]int, len(agents))
+	for i := range p.rs {
+		best, bestD := 0, math.Inf(1)
+		for j := range agents {
+			dx := agents[j].x - p.rs[i].x
+			dy := agents[j].y - p.rs[i].y
+			if d := dx*dx + dy*dy; d < bestD {
+				best, bestD = j, d
+			}
+		}
+		p.rs[i].home = best
+		counts[best]++
+	}
+	return counts
+}
+
+// demand draws this epoch's request sets: reqs[i][k] requests arriving at
+// EDP i for content k, and the per-EDP average declared timeliness per
+// content (Definition 2). Contents are chosen per request by the day's view
+// shares; timeliness declarations are the trace level plus bounded noise.
+func (p *requesterPopulation) demand(
+	agents []edp, shares, baseTimeliness []float64, lmax float64, rng *rand.Rand,
+) (reqs [][]float64, timeliness [][]float64) {
+	m := len(agents)
+	k := len(shares)
+	reqs = make([][]float64, m)
+	sumL := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		reqs[i] = make([]float64, k)
+		sumL[i] = make([]float64, k)
+	}
+	p.associate(agents)
+	for _, r := range p.rs {
+		// Poisson-like request count for this requester.
+		lam := p.cfg.RequestsPerRequester
+		n := int(math.Max(0, math.Round(lam+math.Sqrt(lam)*rng.NormFloat64())))
+		for q := 0; q < n; q++ {
+			c := sampleShare(shares, rng)
+			l := numerics.Clamp(baseTimeliness[c]+p.cfg.TimelinessNoise*rng.NormFloat64(), 0, lmax)
+			reqs[r.home][c]++
+			sumL[r.home][c] += l
+		}
+	}
+	timeliness = make([][]float64, m)
+	for i := 0; i < m; i++ {
+		timeliness[i] = make([]float64, k)
+		for c := 0; c < k; c++ {
+			if reqs[i][c] > 0 {
+				timeliness[i][c] = sumL[i][c] / reqs[i][c]
+			} else {
+				timeliness[i][c] = baseTimeliness[c]
+			}
+		}
+	}
+	return reqs, timeliness
+}
+
+// sampleShare draws a content index from the (normalised) share vector.
+func sampleShare(shares []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var acc float64
+	for c, s := range shares {
+		acc += s
+		if u < acc {
+			return c
+		}
+	}
+	return len(shares) - 1
+}

@@ -1,0 +1,546 @@
+// Package sim is the agent-based MEC market simulator implementing
+// Algorithm 1 of the paper: M EDP agents with stochastic channel and cache
+// dynamics serve per-epoch content requests, set prices under the
+// supply–demand rule (Eq. 5), trade with requesters under the three service
+// cases, and settle paid peer sharing. The caching strategy of each EDP is
+// supplied by a policy (MFG-CP or one of the baselines).
+//
+// Beyond regenerating the paper's comparison figures, the simulator
+// cross-validates the mean-field approximation: the empirical distribution of
+// the EDPs' remaining cache space is compared against the FPK density of the
+// solved equilibrium.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mec"
+	"repro/internal/numerics"
+	"repro/internal/policy"
+	"repro/internal/sde"
+	"repro/internal/trace"
+)
+
+// Config parametrises one market run.
+type Config struct {
+	Params mec.Params
+	Policy policy.Policy
+	Solver core.Config // passed to MFG policies via the epoch context
+
+	Epochs        int
+	StepsPerEpoch int
+	// RequestsPerEDP is the mean number of content requests arriving at one
+	// EDP per epoch, split across contents by the trace's view shares.
+	RequestsPerEDP float64
+	Seed           int64
+
+	// Trace supplies the demand process; when nil a default synthetic trace
+	// is generated from Seed.
+	Trace *trace.Dataset
+
+	// HeterogeneousDemand adds per-EDP Poisson noise to the request counts.
+	// The default (false) gives every EDP the epoch's mean demand, matching
+	// the homogeneity assumption of the mean-field model — required by the
+	// FPK cross-validation test.
+	HeterogeneousDemand bool
+
+	// Requesters enables the requester-level demand model of the paper's
+	// Section II: J mobile requesters associated with their nearest EDP,
+	// issuing requests routed through the association map and declaring
+	// per-request timeliness requirements (Definition 2). When J > 0 this
+	// supersedes HeterogeneousDemand and RequestsPerEDP.
+	Requesters RequesterConfig
+
+	// ExactInterference computes each EDP's transmission rate from the
+	// pairwise SINR with its actual neighbours (Eq. 2) instead of the
+	// mean-field interference approximation. Kept as an ablation.
+	ExactInterference bool
+
+	// Area is the side length of the square deployment region.
+	Area float64
+}
+
+// DefaultConfig returns the simulation settings used by the experiments.
+func DefaultConfig(p mec.Params, pol policy.Policy) Config {
+	solver := core.DefaultConfig(p)
+	solver.NH = 9
+	solver.NQ = 41
+	solver.Steps = 60
+	return Config{
+		Params:         p,
+		Policy:         pol,
+		Solver:         solver,
+		Epochs:         3,
+		StepsPerEpoch:  40,
+		RequestsPerEDP: 30,
+		Seed:           1,
+		Area:           100,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("sim: nil policy")
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("sim: Epochs must be ≥ 1, got %d", c.Epochs)
+	}
+	if c.StepsPerEpoch < 1 {
+		return fmt.Errorf("sim: StepsPerEpoch must be ≥ 1, got %d", c.StepsPerEpoch)
+	}
+	if c.RequestsPerEDP < 0 {
+		return fmt.Errorf("sim: RequestsPerEDP must be non-negative, got %g", c.RequestsPerEDP)
+	}
+	if !(c.Area > 0) {
+		return fmt.Errorf("sim: Area must be positive, got %g", c.Area)
+	}
+	if err := c.Requesters.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Ledger accumulates the economic account of one EDP over the whole run.
+// Utility = Trading + Sharing − Placement − Staleness − ShareCost.
+type Ledger struct {
+	Trading   float64
+	Sharing   float64
+	Placement float64
+	Staleness float64
+	ShareCost float64
+}
+
+// Utility returns the net profit of the ledger.
+func (l Ledger) Utility() float64 {
+	return l.Trading + l.Sharing - l.Placement - l.Staleness - l.ShareCost
+}
+
+func (l *Ledger) add(o Ledger) {
+	l.Trading += o.Trading
+	l.Sharing += o.Sharing
+	l.Placement += o.Placement
+	l.Staleness += o.Staleness
+	l.ShareCost += o.ShareCost
+}
+
+// EpochStats aggregates one epoch across the population.
+type EpochStats struct {
+	Epoch        int
+	MeanUtility  float64 // per-EDP utility accumulated during the epoch
+	MeanTrading  float64
+	MeanSharing  float64
+	MeanStale    float64
+	MeanPrice    float64 // population-and-time average trading price
+	MeanRate     float64 // population-and-time average caching rate
+	MeanRemain   float64 // population average remaining space (end of epoch)
+	StrategyTime time.Duration
+}
+
+// Result is the outcome of a market run.
+type Result struct {
+	PolicyName string
+	M          int
+	Epochs     int
+
+	Ledgers []Ledger // per EDP, whole run
+	Stats   []EpochStats
+
+	// StrategyTime is the total strategy-determination time across epochs
+	// (the quantity Table II compares across policies and M).
+	StrategyTime time.Duration
+
+	// FinalQ[i][k] is EDP i's remaining space for content k at the end.
+	FinalQ [][]float64
+	// FinalH[i] is EDP i's final channel fading coefficient.
+	FinalH []float64
+}
+
+// MeanUtility returns the population-average accumulated utility.
+func (r *Result) MeanUtility() float64 {
+	var s float64
+	for _, l := range r.Ledgers {
+		s += l.Utility()
+	}
+	return s / float64(len(r.Ledgers))
+}
+
+// MeanLedger returns the population-average ledger.
+func (r *Result) MeanLedger() Ledger {
+	var sum Ledger
+	for _, l := range r.Ledgers {
+		sum.add(l)
+	}
+	m := float64(len(r.Ledgers))
+	return Ledger{
+		Trading:   sum.Trading / m,
+		Sharing:   sum.Sharing / m,
+		Placement: sum.Placement / m,
+		Staleness: sum.Staleness / m,
+		ShareCost: sum.ShareCost / m,
+	}
+}
+
+// EmpiricalQDensity histograms the final remaining space of content k across
+// the population into bins cells over [0, Qk], normalised to unit integral.
+func (r *Result) EmpiricalQDensity(k, bins int, qk float64) ([]float64, error) {
+	if len(r.FinalQ) == 0 {
+		return nil, fmt.Errorf("sim: empty result")
+	}
+	if k < 0 || k >= len(r.FinalQ[0]) {
+		return nil, fmt.Errorf("sim: content %d out of range", k)
+	}
+	h, err := numerics.NewHistogram(0, qk, bins)
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.FinalQ {
+		h.Add(r.FinalQ[i][k])
+	}
+	return h.Density(), nil
+}
+
+// edp is one agent.
+type edp struct {
+	id   int
+	x, y float64
+	h    float64
+	q    []float64
+}
+
+// Run executes the market simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Params
+	channel, err := mec.NewChannelModel(p)
+	if err != nil {
+		return nil, err
+	}
+	catalog, err := mec.NewCatalog(p)
+	if err != nil {
+		return nil, err
+	}
+	ds := cfg.Trace
+	if ds == nil {
+		gen := trace.DefaultGenConfig()
+		gen.K = p.K
+		gen.Seed = cfg.Seed
+		ds, err = trace.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ds.K != p.K {
+		return nil, fmt.Errorf("sim: trace has %d categories, params expect %d", ds.K, p.K)
+	}
+	timeliness := ds.Timeliness(p.LMax)
+
+	// Population initialisation.
+	rng := sde.NewRNG(cfg.Seed)
+	ou := channel.OU()
+	sdH := math.Sqrt(ou.StationaryVar())
+	agents := make([]edp, p.M)
+	for i := range agents {
+		a := &agents[i]
+		a.id = i
+		a.x = rng.Float64() * cfg.Area
+		a.y = rng.Float64() * cfg.Area
+		a.h = sde.ReflectInto(p.ChMean+sdH*rng.NormFloat64(), p.HMin, p.HMax)
+		a.q = make([]float64, p.K)
+		for k := range a.q {
+			a.q[k] = sde.ReflectInto(p.InitMeanFrac*p.Qk+p.InitStdFrac*p.Qk*rng.NormFloat64(), 0, p.Qk)
+		}
+	}
+
+	res := &Result{
+		PolicyName: cfg.Policy.Name(),
+		M:          p.M,
+		Epochs:     cfg.Epochs,
+		Ledgers:    make([]Ledger, p.M),
+	}
+	dt := p.Horizon / float64(cfg.StepsPerEpoch)
+	sqDt := math.Sqrt(dt)
+	alphaQ := p.AlphaQ()
+
+	var requesters *requesterPopulation
+	if cfg.Requesters.J > 0 {
+		requesters = newRequesterPopulation(cfg.Requesters, cfg.Area, ou, p.HMin, p.HMax, rng)
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// --- Demand refresh (Algorithm 1, lines 4–5 and 8).
+		shares, err := ds.DayShares(epoch % ds.Days)
+		if err != nil {
+			return nil, err
+		}
+		var reqs [][]float64          // per-EDP, per-content request counts
+		var reqTimeliness [][]float64 // per-EDP, per-content declared L (requester level)
+		meanReqs := make([]float64, p.K)
+		epochTimeliness := append([]float64(nil), timeliness...)
+		if requesters != nil {
+			// Requester-level demand: mobility, nearest-EDP association,
+			// per-request content draws and timeliness declarations.
+			requesters.move(rng)
+			reqs, reqTimeliness = requesters.demand(agents, shares, timeliness, p.LMax, rng)
+			for k := 0; k < p.K; k++ {
+				var total, lSum float64
+				for i := 0; i < p.M; i++ {
+					total += reqs[i][k]
+					lSum += reqs[i][k] * reqTimeliness[i][k]
+				}
+				meanReqs[k] = total / float64(p.M)
+				if total > 0 {
+					epochTimeliness[k] = lSum / total
+				}
+			}
+		} else {
+			for k := range meanReqs {
+				meanReqs[k] = cfg.RequestsPerEDP * shares[k]
+			}
+			reqs = make([][]float64, p.M)
+			for i := range reqs {
+				reqs[i] = make([]float64, p.K)
+				for k := range reqs[i] {
+					if cfg.HeterogeneousDemand {
+						lam := meanReqs[k]
+						noisy := lam + math.Sqrt(math.Max(lam, 0))*rng.NormFloat64()
+						reqs[i][k] = math.Max(0, math.Round(noisy))
+					} else {
+						reqs[i][k] = meanReqs[k]
+					}
+				}
+			}
+		}
+		if err := catalog.UpdatePopularity(meanReqs); err != nil {
+			return nil, err
+		}
+		workloads := make([]core.Workload, p.K)
+		for k := range workloads {
+			workloads[k] = core.Workload{
+				Requests:   meanReqs[k],
+				Pop:        catalog.Contents[k].Pop,
+				Timeliness: epochTimeliness[k],
+			}
+		}
+
+		// --- Strategy determination (Algorithm 1 line 9 / Table II timing).
+		ctx := &policy.EpochContext{
+			Params:    p,
+			Catalog:   catalog,
+			Workloads: workloads,
+			Solver:    cfg.Solver,
+			Epoch:     epoch,
+			Seed:      cfg.Seed,
+			M:         p.M,
+		}
+		start := time.Now()
+		if err := cfg.Policy.Prepare(ctx); err != nil {
+			return nil, fmt.Errorf("sim: epoch %d: %w", epoch, err)
+		}
+		prepTime := time.Since(start)
+		res.StrategyTime += prepTime
+
+		// --- Trading and state evolution (Algorithm 1 lines 10–14).
+		es := EpochStats{Epoch: epoch, StrategyTime: prepTime}
+		var priceAcc, rateAcc float64
+		var priceN int
+		epochLedgers := make([]Ledger, p.M)
+		xs := make([]float64, p.M) // caching rates of one content this step
+
+		for s := 0; s < cfg.StepsPerEpoch; s++ {
+			t := float64(s) * dt
+			// Per-link fading and the per-EDP mean reciprocal rate that the
+			// Eq. 9 staleness sum needs, when the requester level is on.
+			var invRates []float64
+			if requesters != nil {
+				requesters.stepFading(ou, p.HMin, p.HMax, dt, rng)
+				invRates = requesters.meanInvRate(channel, agents)
+			}
+			for k := 0; k < p.K; k++ {
+				if workloads[k].Requests <= 0 {
+					continue
+				}
+				// Collect rates and their sum for the Eq. (5) price.
+				var sumX float64
+				for i := range agents {
+					x, err := cfg.Policy.Rate(i, k, t, agents[i].h, agents[i].q[k])
+					if err != nil {
+						return nil, fmt.Errorf("sim: epoch %d step %d: %w", epoch, s, err)
+					}
+					xs[i] = x
+					sumX += x
+				}
+				for i := range agents {
+					a := &agents[i]
+					x := xs[i]
+					// Price (Eq. 5).
+					var price float64
+					if p.M == 1 {
+						price = p.PHat
+					} else {
+						price = p.PHat - p.Eta1*p.Qk*(sumX-x)/float64(p.M-1)
+						if price < 0 {
+							price = 0
+						}
+					}
+					priceAcc += price
+					rateAcc += x
+					priceN++
+
+					// Service case: own hit, else probe a peer.
+					led := &epochLedgers[i]
+					r := reqs[i][k]
+					var rate float64
+					if invRates != nil {
+						rate = 1 / invRates[i]
+					} else {
+						rate = transmissionRate(channel, agents, i, cfg.ExactInterference)
+					}
+					switch {
+					case a.q[k] <= alphaQ: // Case 1: sell own cache
+						led.Trading += r * price * (p.Qk - a.q[k]) * dt
+						led.Staleness += p.Eta2 * r * (p.Qk - a.q[k]) / rate * dt
+					default:
+						j := peerIndex(rng, p.M, i)
+						peer := &agents[j]
+						if cfg.Policy.SharingEnabled() && peer.q[k] <= alphaQ {
+							// Case 2: buy the gap from the peer, sell on.
+							led.Trading += r * price * (p.Qk - peer.q[k]) * dt
+							led.Staleness += p.Eta2 * r * (p.Qk - peer.q[k]) / rate * dt
+							pay := p.SharePrice * (a.q[k] - peer.q[k]) * dt
+							if pay > 0 {
+								led.ShareCost += pay
+								epochLedgers[j].Sharing += pay
+							}
+						} else {
+							// Case 3: fetch the uncached part from the centre.
+							led.Trading += r * price * p.Qk * dt
+							led.Staleness += p.Eta2 * r * (a.q[k]/p.HubRate + p.Qk/rate) * dt
+						}
+					}
+					// Placement cost and download-from-centre delay (Eq. 8, 9).
+					led.Placement += (p.W4*x + p.W5*x*x) * dt
+					led.Staleness += p.Eta2 * p.Qk * x / p.HubRate * dt
+
+					// Cache dynamics (Eq. 4), with the EDP's own requesters'
+					// declared timeliness when the requester level is on.
+					lvl := workloads[k].Timeliness
+					if reqTimeliness != nil {
+						lvl = reqTimeliness[i][k]
+					}
+					drift := p.Qk * (-p.W1*x - p.W2*workloads[k].Pop + p.W3*math.Pow(p.Xi, lvl))
+					a.q[k] = sde.ReflectInto(a.q[k]+drift*dt+p.SigmaQ*sqDt*rng.NormFloat64(), 0, p.Qk)
+				}
+			}
+			// Channel dynamics (Eq. 1) once per step per EDP.
+			for i := range agents {
+				a := &agents[i]
+				a.h = sde.ReflectInto(a.h+ou.Drift(t, a.h)*dt+ou.Diffusion(t, a.h)*sqDt*rng.NormFloat64(), p.HMin, p.HMax)
+			}
+		}
+
+		// Epoch aggregation.
+		var remain float64
+		for i := range agents {
+			res.Ledgers[i].add(epochLedgers[i])
+			es.MeanUtility += epochLedgers[i].Utility()
+			es.MeanTrading += epochLedgers[i].Trading
+			es.MeanSharing += epochLedgers[i].Sharing
+			es.MeanStale += epochLedgers[i].Staleness
+			for k := range agents[i].q {
+				remain += agents[i].q[k]
+			}
+		}
+		m := float64(p.M)
+		es.MeanUtility /= m
+		es.MeanTrading /= m
+		es.MeanSharing /= m
+		es.MeanStale /= m
+		es.MeanRemain = remain / (m * float64(p.K))
+		if priceN > 0 {
+			es.MeanPrice = priceAcc / float64(priceN)
+			es.MeanRate = rateAcc / float64(priceN)
+		}
+		res.Stats = append(res.Stats, es)
+	}
+
+	res.FinalQ = make([][]float64, p.M)
+	res.FinalH = make([]float64, p.M)
+	for i := range agents {
+		res.FinalQ[i] = append([]float64(nil), agents[i].q...)
+		res.FinalH[i] = agents[i].h
+	}
+	return res, nil
+}
+
+// peerIndex draws a uniformly random peer distinct from i (the paper assumes
+// the centre assigns a random qualified EDP to respond to sharing requests).
+func peerIndex(rng interface{ Intn(int) int }, m, i int) int {
+	if m == 1 {
+		return i
+	}
+	j := rng.Intn(m - 1)
+	if j >= i {
+		j++
+	}
+	return j
+}
+
+// transmissionRate returns EDP i's rate to its requesters: mean-field by
+// default, exact pairwise SINR with the nearest Interfer agents when the
+// ablation flag is set.
+func transmissionRate(ch *mec.ChannelModel, agents []edp, i int, exact bool) float64 {
+	if !exact {
+		return ch.Rate(agents[i].h)
+	}
+	// Exact: the closest neighbours act as interferers at their true
+	// distances.
+	type cand struct {
+		d float64
+		h float64
+	}
+	self := &agents[i]
+	best := make([]cand, 0, 8)
+	for j := range agents {
+		if j == i {
+			continue
+		}
+		dx := agents[j].x - self.x
+		dy := agents[j].y - self.y
+		d := math.Hypot(dx, dy)
+		best = append(best, cand{d: d, h: agents[j].h})
+	}
+	// Partial selection of the 4 nearest.
+	n := 4
+	if len(best) < n {
+		n = len(best)
+	}
+	for a := 0; a < n; a++ {
+		min := a
+		for b := a + 1; b < len(best); b++ {
+			if best[b].d < best[min].d {
+				min = b
+			}
+		}
+		best[a], best[min] = best[min], best[a]
+	}
+	hs := make([]float64, n)
+	ds := make([]float64, n)
+	for a := 0; a < n; a++ {
+		hs[a] = best[a].h
+		ds[a] = math.Max(best[a].d, 1)
+	}
+	r, err := ch.RateExact(self.h, 10, hs, ds)
+	if err != nil {
+		return ch.Rate(self.h)
+	}
+	return r
+}

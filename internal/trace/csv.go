@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// csvHeader is the column subset of the Kaggle "Trending YouTube Video
+// Statistics" schema this package reads and writes.
+var csvHeader = []string{"video_id", "category_id", "trending_day", "views", "likes", "comment_count"}
+
+// Save writes the dataset in the CSV schema understood by Load.
+func (d *Dataset) Save(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for _, r := range d.Records {
+		row[0] = r.VideoID
+		row[1] = strconv.Itoa(r.CategoryID)
+		row[2] = strconv.Itoa(r.TrendingDay)
+		row[3] = strconv.FormatInt(r.Views, 10)
+		row[4] = strconv.FormatInt(r.Likes, 10)
+		row[5] = strconv.FormatInt(r.CommentCount, 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Load parses a CSV trace. The header must match the schema written by Save
+// (a real Kaggle dump is converted by renaming columns and mapping trending
+// dates to day indices). Category ids are re-based to 0..K−1 in order of
+// first appearance if they are sparse.
+func Load(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range header {
+		if h != csvHeader[i] {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	ds := &Dataset{}
+	var rawCats []int
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rawCat, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad category_id %q", line, row[1])
+		}
+		day, err := strconv.Atoi(row[2])
+		if err != nil || day < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad trending_day %q", line, row[2])
+		}
+		views, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil || views < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad views %q", line, row[3])
+		}
+		likes, err := strconv.ParseInt(row[4], 10, 64)
+		if err != nil || likes < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad likes %q", line, row[4])
+		}
+		comments, err := strconv.ParseInt(row[5], 10, 64)
+		if err != nil || comments < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad comment_count %q", line, row[5])
+		}
+		ds.Records = append(ds.Records, Record{
+			VideoID:      row[0],
+			CategoryID:   rawCat,
+			TrendingDay:  day,
+			Views:        views,
+			Likes:        likes,
+			CommentCount: comments,
+		})
+		rawCats = append(rawCats, rawCat)
+		if day+1 > ds.Days {
+			ds.Days = day + 1
+		}
+	}
+	if len(ds.Records) == 0 {
+		return nil, fmt.Errorf("trace: dataset contains no records")
+	}
+	// Rebase category ids to 0..K−1 by sorted raw id. A dataset whose ids
+	// are already dense (the schema this package writes) passes through
+	// unchanged; a sparse Kaggle dump maps deterministically.
+	uniq := map[int]bool{}
+	for _, c := range rawCats {
+		uniq[c] = true
+	}
+	sorted := make([]int, 0, len(uniq))
+	for c := range uniq {
+		sorted = append(sorted, c)
+	}
+	sort.Ints(sorted)
+	remap := make(map[int]int, len(sorted))
+	for i, c := range sorted {
+		remap[c] = i
+	}
+	for i := range ds.Records {
+		ds.Records[i].CategoryID = remap[ds.Records[i].CategoryID]
+	}
+	ds.K = len(sorted)
+	return ds, nil
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hardens the CSV parser: arbitrary input must either parse into a
+// structurally valid dataset or return an error — never panic, never produce
+// out-of-range categories/days.
+func FuzzLoad(f *testing.F) {
+	f.Add("video_id,category_id,trending_day,views,likes,comment_count\nv,0,0,1,1,1\n")
+	f.Add("video_id,category_id,trending_day,views,likes,comment_count\n")
+	f.Add("a,b\n1,2\n")
+	f.Add("video_id,category_id,trending_day,views,likes,comment_count\nv,10,3,100,5,2\nw,24,0,50,1,1\n")
+	f.Add("")
+	f.Add("video_id,category_id,trending_day,views,likes,comment_count\nv,-1,0,1,1,1\n")
+	f.Add("video_id,category_id,trending_day,views,likes,comment_count\nv,0,0,999999999999999999999,1,1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		ds, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ds.K < 1 {
+			t.Fatalf("parsed dataset has K=%d", ds.K)
+		}
+		for i, r := range ds.Records {
+			if r.CategoryID < 0 || r.CategoryID >= ds.K {
+				t.Fatalf("record %d category %d out of [0,%d)", i, r.CategoryID, ds.K)
+			}
+			if r.TrendingDay < 0 || r.TrendingDay >= ds.Days {
+				t.Fatalf("record %d day %d out of [0,%d)", i, r.TrendingDay, ds.Days)
+			}
+			if r.Views < 0 || r.Likes < 0 || r.CommentCount < 0 {
+				t.Fatalf("record %d has negative counts", i)
+			}
+		}
+		// A parsed dataset must survive a save/load round trip unchanged.
+		var buf bytes.Buffer
+		if err := ds.Save(&buf); err != nil {
+			t.Fatalf("save after load: %v", err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("reload after save: %v", err)
+		}
+		if back.K != ds.K || len(back.Records) != len(ds.Records) {
+			t.Fatalf("round trip changed shape: K %d→%d, records %d→%d",
+				ds.K, back.K, len(ds.Records), len(back.Records))
+		}
+	})
+}

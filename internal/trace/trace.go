@@ -1,0 +1,251 @@
+// Package trace provides the request workload driving the MEC market: a
+// deterministic synthetic generator producing YouTube-like trending
+// statistics (per-category view counts with Zipf popularity, day-scale drift
+// and burst noise), plus a loader/saver for the Kaggle "Trending YouTube
+// Video Statistics" CSV schema the paper evaluates on, so a real dump can be
+// dropped in without code changes.
+//
+// The paper uses the trace only to obtain the relative request volume of
+// K=20 content categories; everything downstream (popularity update Eq. 3,
+// request sets I_k, timeliness levels) consumes the per-category shares this
+// package computes.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/numerics"
+	"repro/internal/sde"
+)
+
+// Record mirrors one row of the trending-video trace (the subset of columns
+// the evaluation consumes).
+type Record struct {
+	VideoID      string
+	CategoryID   int
+	TrendingDay  int // day index within the trace
+	Views        int64
+	Likes        int64
+	CommentCount int64
+}
+
+// Dataset is a loaded or generated trace.
+type Dataset struct {
+	Records []Record
+	K       int // number of content categories
+	Days    int // number of trace days
+}
+
+// GenConfig parametrises the synthetic generator.
+type GenConfig struct {
+	K            int     // content categories (paper: 20)
+	Days         int     // trace days
+	VideosPerDay int     // trending records per day
+	Seed         int64   // RNG seed; generation is fully deterministic
+	ZipfSkew     float64 // category popularity skew ι
+	BaseViews    float64 // mean views of the most popular category
+	BurstProb    float64 // probability a record is a viral burst
+	BurstFactor  float64 // view multiplier of a burst
+	DriftStd     float64 // day-to-day log-drift of category popularity
+}
+
+// DefaultGenConfig returns the generator settings used by the experiments.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		K:            20,
+		Days:         30,
+		VideosPerDay: 200,
+		Seed:         1,
+		ZipfSkew:     0.8,
+		BaseViews:    1e6,
+		BurstProb:    0.02,
+		BurstFactor:  8,
+		DriftStd:     0.15,
+	}
+}
+
+// Validate checks the generator configuration.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.K < 1:
+		return fmt.Errorf("trace: K must be ≥ 1, got %d", c.K)
+	case c.Days < 1:
+		return fmt.Errorf("trace: Days must be ≥ 1, got %d", c.Days)
+	case c.VideosPerDay < 1:
+		return fmt.Errorf("trace: VideosPerDay must be ≥ 1, got %d", c.VideosPerDay)
+	case !(c.ZipfSkew > 0):
+		return fmt.Errorf("trace: ZipfSkew must be positive, got %g", c.ZipfSkew)
+	case !(c.BaseViews > 0):
+		return fmt.Errorf("trace: BaseViews must be positive, got %g", c.BaseViews)
+	case c.BurstProb < 0 || c.BurstProb > 1:
+		return fmt.Errorf("trace: BurstProb must lie in [0,1], got %g", c.BurstProb)
+	case c.BurstFactor < 1:
+		return fmt.Errorf("trace: BurstFactor must be ≥ 1, got %g", c.BurstFactor)
+	case c.DriftStd < 0:
+		return fmt.Errorf("trace: DriftStd must be non-negative, got %g", c.DriftStd)
+	}
+	return nil
+}
+
+// Generate builds a synthetic trending trace. Categories follow a Zipf(ι)
+// base popularity whose log drifts day-to-day as a random walk (capturing the
+// popularity dynamics the paper's Definition 1 reacts to); individual records
+// add log-normal noise, and a small fraction are viral bursts.
+func Generate(cfg GenConfig) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	weights, err := numerics.ZipfWeights(cfg.K, cfg.ZipfSkew)
+	if err != nil {
+		return nil, err
+	}
+	rng := sde.NewRNG(cfg.Seed)
+	logDrift := make([]float64, cfg.K)
+
+	ds := &Dataset{K: cfg.K, Days: cfg.Days}
+	ds.Records = make([]Record, 0, cfg.Days*cfg.VideosPerDay)
+	for day := 0; day < cfg.Days; day++ {
+		// Random-walk drift on the log-popularity of every category.
+		for k := range logDrift {
+			logDrift[k] += cfg.DriftStd * rng.NormFloat64()
+		}
+		// Per-day category sampling distribution ∝ weight·e^drift.
+		probs := make([]float64, cfg.K)
+		var z float64
+		for k := range probs {
+			probs[k] = weights[k] * math.Exp(logDrift[k])
+			z += probs[k]
+		}
+		for k := range probs {
+			probs[k] /= z
+		}
+		for v := 0; v < cfg.VideosPerDay; v++ {
+			k := sampleCategory(probs, rng)
+			views := cfg.BaseViews * probs[k] * float64(cfg.K) * math.Exp(0.5*rng.NormFloat64())
+			if rng.Float64() < cfg.BurstProb {
+				views *= cfg.BurstFactor
+			}
+			likes := views * (0.01 + 0.04*rng.Float64())
+			comments := views * (0.001 + 0.01*rng.Float64())
+			ds.Records = append(ds.Records, Record{
+				VideoID:      videoID(rng),
+				CategoryID:   k,
+				TrendingDay:  day,
+				Views:        int64(views),
+				Likes:        int64(likes),
+				CommentCount: int64(comments),
+			})
+		}
+	}
+	return ds, nil
+}
+
+func sampleCategory(probs []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var acc float64
+	for k, p := range probs {
+		acc += p
+		if u < acc {
+			return k
+		}
+	}
+	return len(probs) - 1
+}
+
+const idAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
+
+func videoID(rng *rand.Rand) string {
+	b := make([]byte, 11) // YouTube-style 11-character ID
+	for i := range b {
+		b[i] = idAlphabet[rng.Intn(len(idAlphabet))]
+	}
+	return string(b)
+}
+
+// CategoryShares returns the fraction of total views per category over the
+// whole trace (the empirical popularity the experiments seed Π_k(t0) with).
+func (d *Dataset) CategoryShares() []float64 {
+	shares := make([]float64, d.K)
+	var total float64
+	for _, r := range d.Records {
+		if r.CategoryID >= 0 && r.CategoryID < d.K {
+			shares[r.CategoryID] += float64(r.Views)
+			total += float64(r.Views)
+		}
+	}
+	if total > 0 {
+		for k := range shares {
+			shares[k] /= total
+		}
+	}
+	return shares
+}
+
+// DayShares returns the per-category view shares of a single trace day,
+// used to refresh request volumes epoch by epoch.
+func (d *Dataset) DayShares(day int) ([]float64, error) {
+	if day < 0 || day >= d.Days {
+		return nil, fmt.Errorf("trace: day %d out of range [0,%d)", day, d.Days)
+	}
+	shares := make([]float64, d.K)
+	var total float64
+	for _, r := range d.Records {
+		if r.TrendingDay == day && r.CategoryID >= 0 && r.CategoryID < d.K {
+			shares[r.CategoryID] += float64(r.Views)
+			total += float64(r.Views)
+		}
+	}
+	if total > 0 {
+		for k := range shares {
+			shares[k] /= total
+		}
+	}
+	return shares, nil
+}
+
+// CommentIntensity returns comments-per-view per category, the proxy this
+// reproduction uses for content timeliness: categories whose audience
+// engages immediately (high comment rates — e.g. news, sports) are the ones
+// requesters want with low delay.
+func (d *Dataset) CommentIntensity() []float64 {
+	views := make([]float64, d.K)
+	comments := make([]float64, d.K)
+	for _, r := range d.Records {
+		if r.CategoryID >= 0 && r.CategoryID < d.K {
+			views[r.CategoryID] += float64(r.Views)
+			comments[r.CategoryID] += float64(r.CommentCount)
+		}
+	}
+	out := make([]float64, d.K)
+	for k := range out {
+		if views[k] > 0 {
+			out[k] = comments[k] / views[k]
+		}
+	}
+	return out
+}
+
+// Timeliness maps comment intensity to the [0, lmax] timeliness scale of
+// Definition 2 by normalising against the most comment-intense category.
+func (d *Dataset) Timeliness(lmax float64) []float64 {
+	ci := d.CommentIntensity()
+	var maxCI float64
+	for _, v := range ci {
+		if v > maxCI {
+			maxCI = v
+		}
+	}
+	out := make([]float64, d.K)
+	if maxCI <= 0 {
+		for k := range out {
+			out[k] = lmax / 2
+		}
+		return out
+	}
+	for k := range out {
+		out[k] = lmax * ci[k] / maxCI
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mec"
+)
+
+func genSmall(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DefaultGenConfig()
+	cfg.Days = 5
+	cfg.VideosPerDay = 100
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := genSmall(t)
+	if ds.K != 20 || ds.Days != 5 {
+		t.Fatalf("K=%d Days=%d, want 20/5", ds.K, ds.Days)
+	}
+	if len(ds.Records) != 500 {
+		t.Fatalf("%d records, want 500", len(ds.Records))
+	}
+	for _, r := range ds.Records {
+		if r.CategoryID < 0 || r.CategoryID >= ds.K {
+			t.Fatalf("category %d out of range", r.CategoryID)
+		}
+		if r.TrendingDay < 0 || r.TrendingDay >= ds.Days {
+			t.Fatalf("day %d out of range", r.TrendingDay)
+		}
+		if r.Views < 0 || r.Likes < 0 || r.CommentCount < 0 {
+			t.Fatalf("negative counts in %+v", r)
+		}
+		if len(r.VideoID) != 11 {
+			t.Fatalf("video id %q not 11 chars", r.VideoID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Days = 2
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	cfg.Seed = 99
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Records {
+		if a.Records[i] != c.Records[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	mutations := []func(*GenConfig){
+		func(c *GenConfig) { c.K = 0 },
+		func(c *GenConfig) { c.Days = 0 },
+		func(c *GenConfig) { c.VideosPerDay = 0 },
+		func(c *GenConfig) { c.ZipfSkew = 0 },
+		func(c *GenConfig) { c.BaseViews = 0 },
+		func(c *GenConfig) { c.BurstProb = 2 },
+		func(c *GenConfig) { c.BurstFactor = 0.5 },
+		func(c *GenConfig) { c.DriftStd = -1 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultGenConfig()
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCategorySharesNormalised(t *testing.T) {
+	ds := genSmall(t)
+	shares := ds.CategoryShares()
+	var sum float64
+	for _, s := range shares {
+		if s < 0 {
+			t.Fatalf("negative share %g", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σshares = %g, want 1", sum)
+	}
+	// Zipf-ish: top category should outweigh the bottom one on average.
+	if shares[0] <= shares[ds.K-1] {
+		t.Errorf("share[0]=%g should exceed share[K-1]=%g", shares[0], shares[ds.K-1])
+	}
+}
+
+func TestDayShares(t *testing.T) {
+	ds := genSmall(t)
+	shares, err := ds.DayShares(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σday shares = %g, want 1", sum)
+	}
+	if _, err := ds.DayShares(-1); err == nil {
+		t.Error("negative day should error")
+	}
+	if _, err := ds.DayShares(ds.Days); err == nil {
+		t.Error("out-of-range day should error")
+	}
+}
+
+func TestTimelinessRange(t *testing.T) {
+	ds := genSmall(t)
+	const lmax = 5.0
+	ls := ds.Timeliness(lmax)
+	if len(ls) != ds.K {
+		t.Fatalf("%d timeliness values for %d categories", len(ls), ds.K)
+	}
+	var hitMax bool
+	for k, l := range ls {
+		if l < 0 || l > lmax {
+			t.Fatalf("timeliness[%d]=%g outside [0,%g]", k, l, lmax)
+		}
+		if l == lmax {
+			hitMax = true
+		}
+	}
+	if !hitMax {
+		t.Error("normalisation should put the most intense category at lmax")
+	}
+	// Empty dataset falls back to lmax/2.
+	empty := &Dataset{K: 3, Days: 1}
+	for _, l := range empty.Timeliness(lmax) {
+		if l != lmax/2 {
+			t.Errorf("empty-dataset timeliness = %g, want %g", l, lmax/2)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := genSmall(t)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.K != ds.K || back.Days != ds.Days {
+		t.Fatalf("round trip changed K/Days: %d/%d vs %d/%d", back.K, back.Days, ds.K, ds.Days)
+	}
+	if len(back.Records) != len(ds.Records) {
+		t.Fatalf("round trip changed record count")
+	}
+	for i := range ds.Records {
+		if back.Records[i] != ds.Records[i] {
+			t.Fatalf("record %d differs after round trip: %+v vs %+v", i, back.Records[i], ds.Records[i])
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"wrong header", "a,b,c\n"},
+		{"bad category", "video_id,category_id,trending_day,views,likes,comment_count\nv,x,0,1,1,1\n"},
+		{"bad day", "video_id,category_id,trending_day,views,likes,comment_count\nv,0,-1,1,1,1\n"},
+		{"bad views", "video_id,category_id,trending_day,views,likes,comment_count\nv,0,0,-5,1,1\n"},
+		{"bad likes", "video_id,category_id,trending_day,views,likes,comment_count\nv,0,0,1,x,1\n"},
+		{"bad comments", "video_id,category_id,trending_day,views,likes,comment_count\nv,0,0,1,1,x\n"},
+		{"no records", "video_id,category_id,trending_day,views,likes,comment_count\n"},
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLoadRebasesSparseCategories(t *testing.T) {
+	data := "video_id,category_id,trending_day,views,likes,comment_count\n" +
+		"a,10,0,100,1,1\n" +
+		"b,24,0,50,1,1\n" +
+		"c,10,1,70,1,1\n"
+	ds, err := Load(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.K != 2 {
+		t.Fatalf("K = %d, want 2", ds.K)
+	}
+	if ds.Records[0].CategoryID != 0 || ds.Records[1].CategoryID != 1 || ds.Records[2].CategoryID != 0 {
+		t.Errorf("categories not rebased: %+v", ds.Records)
+	}
+	if ds.Days != 2 {
+		t.Errorf("Days = %d, want 2", ds.Days)
+	}
+}
+
+func TestBuildWorkloads(t *testing.T) {
+	p := mec.Default()
+	ds := genSmall(t)
+	ws, err := BuildWorkloads(ds, p, 7, 100, 3)
+	if err != nil {
+		t.Fatalf("BuildWorkloads: %v", err)
+	}
+	if len(ws) != 7 {
+		t.Fatalf("%d workloads, want 7", len(ws))
+	}
+	for e, w := range ws {
+		if w.Epoch != e {
+			t.Fatalf("epoch %d mislabeled as %d", e, w.Epoch)
+		}
+		var popSum float64
+		for k := 0; k < p.K; k++ {
+			if w.Requests[k] < 0 {
+				t.Fatalf("negative requests at epoch %d content %d", e, k)
+			}
+			if w.Timeliness[k] < 0 || w.Timeliness[k] > p.LMax {
+				t.Fatalf("timeliness out of range at epoch %d content %d", e, k)
+			}
+			popSum += w.Popularity[k]
+		}
+		if math.Abs(popSum-1) > 1e-9 {
+			t.Fatalf("epoch %d popularity sums to %g", e, popSum)
+		}
+		cw, err := w.Workload(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cw.Requests != w.Requests[0] {
+			t.Error("Workload() did not copy requests")
+		}
+		if _, err := w.Workload(-1); err == nil {
+			t.Error("bad content index should error")
+		}
+	}
+	if _, err := BuildWorkloads(nil, p, 1, 1, 1); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, err := BuildWorkloads(ds, p, 0, 1, 1); err == nil {
+		t.Error("0 epochs should error")
+	}
+	if _, err := BuildWorkloads(ds, p, 1, -1, 1); err == nil {
+		t.Error("negative request rate should error")
+	}
+	bad := p
+	bad.K = 5
+	if _, err := BuildWorkloads(ds, bad, 1, 1, 1); err == nil {
+		t.Error("category mismatch should error")
+	}
+}

@@ -1,0 +1,148 @@
+// Package mfgcp is the public API of this reproduction of "Joint Mobile Edge
+// Caching and Pricing: A Mean-Field Game Approach" (ICDE 2024). It re-exports
+// the stable surface of the internal packages:
+//
+//   - model parameters and workloads (internal/mec, internal/core);
+//   - the mean-field equilibrium solver implementing Algorithm 2
+//     (internal/core): coupled backward-HJB / forward-FPK iteration with the
+//     closed-form optimal caching control of Theorem 1;
+//   - the five caching policies of the evaluation (internal/policy);
+//   - the agent-based MEC market simulator implementing Algorithm 1
+//     (internal/sim);
+//   - the synthetic trending-video trace generator and Kaggle-schema loader
+//     (internal/trace);
+//   - the experiment runners regenerating every figure and table of the
+//     paper (internal/experiments).
+//
+// Quick start:
+//
+//	params := mfgcp.DefaultParams()
+//	cfg := mfgcp.DefaultSolverConfig(params)
+//	eq, err := mfgcp.SolveEquilibrium(cfg, mfgcp.Workload{Requests: 10, Pop: 0.3, Timeliness: 2})
+//	if err != nil { ... }
+//	x, _ := eq.HJB.ControlAt(0, params.ChMean, 50) // optimal caching rate
+package mfgcp
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mec"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Params holds every model constant of the MEC system (see mec.Params).
+type Params = mec.Params
+
+// DefaultParams returns the calibrated parameter set used by the experiments
+// (the paper's Section-V constants mapped onto a coherent MB/$-unit system).
+func DefaultParams() Params { return mec.Default() }
+
+// PaperParams returns the literal Section-V constants of the paper, kept for
+// reference; the mixed units make them unsuitable for direct simulation.
+func PaperParams() Params { return mec.Paper() }
+
+// Workload describes one content's per-epoch demand: request count |I_k|,
+// popularity Π_k and timeliness L_k.
+type Workload = core.Workload
+
+// SolverConfig controls one mean-field equilibrium computation
+// (grid resolution, best-response iteration limits, damping, FPK form).
+type SolverConfig = core.Config
+
+// DefaultSolverConfig returns the solver settings used by the experiments.
+func DefaultSolverConfig(p Params) SolverConfig { return core.DefaultConfig(p) }
+
+// Equilibrium is a solved mean-field equilibrium: value function and optimal
+// strategy (HJB), mean-field density path (FPK), estimator snapshots and
+// convergence diagnostics.
+type Equilibrium = core.Equilibrium
+
+// Snapshot carries the mean-field estimator outputs at one time node: the
+// dynamic price, the mean peer cache level, and the sharing-market terms.
+type Snapshot = core.Snapshot
+
+// Rollout is a representative EDP's trajectory under the equilibrium
+// strategy, with the full income/cost decomposition.
+type Rollout = core.Rollout
+
+// ErrNotConverged is wrapped by SolveEquilibrium when the best-response
+// iteration exhausts its iteration budget; the partial equilibrium is still
+// returned for inspection.
+var ErrNotConverged = core.ErrNotConverged
+
+// SolveEquilibrium runs the iterative best-response learning scheme
+// (Algorithm 2) to the unique mean-field equilibrium (Theorem 2).
+func SolveEquilibrium(cfg SolverConfig, w Workload) (*Equilibrium, error) {
+	return core.Solve(cfg, w)
+}
+
+// OptimalControl is the closed-form caching rate of Theorem 1 (Eq. 21) as a
+// function of the model constants and the local value-function gradient ∂qV.
+func OptimalControl(p Params, dVdq float64) float64 {
+	return core.OptimalControl(p, dVdq)
+}
+
+// Policy is a per-epoch caching strategy (MFG-CP or a baseline).
+type Policy = policy.Policy
+
+// NewMFGCPPolicy returns the proposed MFG-CP strategy.
+func NewMFGCPPolicy() Policy { return policy.NewMFGCP() }
+
+// NewMFGPolicy returns the MFG baseline (MFG-CP without peer sharing).
+func NewMFGPolicy() Policy { return policy.NewMFG() }
+
+// NewRRPolicy returns the Random Replacement baseline.
+func NewRRPolicy() Policy { return policy.NewRR() }
+
+// NewMPCPolicy returns the Most Popular Caching baseline.
+func NewMPCPolicy() Policy { return policy.NewMPC() }
+
+// NewUDCSPolicy returns the Ultra-Dense Caching Strategy baseline.
+func NewUDCSPolicy() Policy { return policy.NewUDCS() }
+
+// MarketConfig parametrises an agent-based market simulation (Algorithm 1).
+type MarketConfig = sim.Config
+
+// MarketResult is the outcome of a market run: per-EDP ledgers, per-epoch
+// statistics and the strategy-computation timing of Table II.
+type MarketResult = sim.Result
+
+// Ledger is one EDP's economic account (Eq. 10 decomposition).
+type Ledger = sim.Ledger
+
+// DefaultMarketConfig returns the market-simulation settings used by the
+// experiments.
+func DefaultMarketConfig(p Params, pol Policy) MarketConfig { return sim.DefaultConfig(p, pol) }
+
+// RunMarket executes a market simulation.
+func RunMarket(cfg MarketConfig) (*MarketResult, error) { return sim.Run(cfg) }
+
+// TraceDataset is a trending-video demand trace (synthetic or loaded).
+type TraceDataset = trace.Dataset
+
+// TraceGenConfig parametrises the synthetic trace generator.
+type TraceGenConfig = trace.GenConfig
+
+// DefaultTraceGenConfig returns the generator settings used by the
+// experiments.
+func DefaultTraceGenConfig() TraceGenConfig { return trace.DefaultGenConfig() }
+
+// GenerateTrace builds a deterministic synthetic trending trace.
+func GenerateTrace(cfg TraceGenConfig) (*TraceDataset, error) { return trace.Generate(cfg) }
+
+// ExperimentOptions tunes the experiment runners (seed, quick mode).
+type ExperimentOptions = experiments.Options
+
+// ExperimentReport is the rendered outcome of one experiment.
+type ExperimentReport = experiments.Report
+
+// ExperimentIDs lists the reproducible figures and tables (fig3…fig14,
+// table2).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's figures or tables.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(id, opt)
+}
