@@ -20,6 +20,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/linalg"
 	"repro/internal/mec"
+	"repro/internal/obs"
 	"repro/internal/pde"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -136,6 +137,28 @@ func BenchmarkAblationGridResolution(b *testing.B) {
 		b.Run(fmt.Sprintf("NQ=%d", nq), func(b *testing.B) {
 			cfg := quickSolver()
 			cfg.NQ = nq
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(cfg, benchWorkload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Telemetry overhead on the full coupled solve: "off" runs with the implicit
+// no-op recorder (the default), "nop" injects obs.Nop explicitly, "registry"
+// records live metrics. off ≈ nop bounds the instrumentation cost of the
+// disabled path (<2% required); registry bounds the cost of recording.
+func BenchmarkAblationRecorder(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		rec  obs.Recorder
+	}{{"off", nil}, {"nop", obs.Nop}, {"registry", obs.NewRegistry(nil)}} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := quickSolver()
+			cfg.Obs = variant.rec
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Solve(cfg, benchWorkload); err != nil {

@@ -9,15 +9,20 @@
 //
 // Flags:
 //
-//	-quick        shrink grids/populations for a fast smoke run
-//	-seed N       RNG seed (default 1)
-//	-csv DIR      also write every table/series as CSV files into DIR
+//	-quick              shrink grids/populations for a fast smoke run
+//	-seed N             RNG seed (default 1)
+//	-csv DIR            also write every table/series as CSV files into DIR
+//	-log-level LEVEL    structured slog tracing (debug shows solver spans and
+//	                    per-iteration residuals)
+//	-metrics-addr ADDR  serve /metrics, /debug/vars and /debug/pprof
+//	-trace-out FILE     write a JSON telemetry snapshot to FILE
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -30,7 +35,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing experiment id")
@@ -55,23 +60,49 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shrink grids/populations for a fast run")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	csvDir := fs.String("csv", "", "write CSV artefacts into this directory")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	tel, err := of.setup()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := tel.finish(); ferr != nil && retErr == nil {
+			retErr = fmt.Errorf("telemetry: %w", ferr)
+		}
+	}()
+	opt := experiments.Options{Seed: *seed, Quick: *quick, Obs: tel.Rec}
+
+	if cmd != "all" && !knownExperiment(cmd) {
+		tel.errorLogger().Error("unknown experiment",
+			"id", cmd,
+			"known", strings.Join(experiments.IDs(), ","))
+		return fmt.Errorf("unknown experiment %q (run `mfgcp list`)", cmd)
+	}
 
 	if cmd == "all" {
 		for _, id := range experiments.IDs() {
-			if err := runOne(id, opt, *csvDir); err != nil {
+			if err := runOne(id, opt, *csvDir, tel); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return runOne(cmd, opt, *csvDir)
+	return runOne(cmd, opt, *csvDir, tel)
 }
 
-func runOne(id string, opt experiments.Options, csvDir string) error {
+func knownExperiment(id string) bool {
+	for _, known := range experiments.IDs() {
+		if id == known {
+			return true
+		}
+	}
+	return false
+}
+
+func runOne(id string, opt experiments.Options, csvDir string, tel *telemetry) error {
 	start := time.Now()
 	rep, err := experiments.Run(id, opt)
 	if err != nil {
@@ -87,7 +118,7 @@ func runOne(id string, opt experiments.Options, csvDir string) error {
 		}
 		fmt.Printf("[CSV artefacts written to %s]\n", csvDir)
 	}
-	return nil
+	return tel.summary(id)
 }
 
 func usage() {
@@ -101,8 +132,11 @@ usage:
   mfgcp market [flags]       run one agent-based market (see market -h)
 
 flags:
-  -quick      fast smoke run (smaller grids and populations)
-  -seed N     RNG seed (default 1)
-  -csv DIR    also write CSV artefacts into DIR
+  -quick              fast smoke run (smaller grids and populations)
+  -seed N             RNG seed (default 1)
+  -csv DIR            also write CSV artefacts into DIR
+  -log-level LEVEL    structured slog tracing: debug, info, warn, error
+  -metrics-addr ADDR  serve /metrics, /debug/vars and /debug/pprof on ADDR
+  -trace-out FILE     write a JSON telemetry snapshot to FILE
 `)
 }

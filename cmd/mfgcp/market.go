@@ -14,7 +14,7 @@ import (
 // marketCmd implements `mfgcp market`: one agent-based market run
 // (Algorithm 1) with the chosen policy and population, reporting per-epoch
 // statistics and the whole-run ledger.
-func marketCmd(args []string) error {
+func marketCmd(args []string) (retErr error) {
 	fs := flag.NewFlagSet("market", flag.ContinueOnError)
 	policyName := fs.String("policy", "mfg-cp", "caching policy: mfg-cp, mfg, rr, mpc, udcs")
 	m := fs.Int("m", 60, "number of EDPs")
@@ -24,9 +24,19 @@ func marketCmd(args []string) error {
 	seed := fs.Int64("seed", 1, "RNG seed")
 	requesters := fs.Int("requesters", 0, "requester population J (0 = homogeneous demand)")
 	exact := fs.Bool("exact-interference", false, "pairwise SINR instead of the mean-field rate")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tel, err := of.setup()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := tel.finish(); ferr != nil && retErr == nil {
+			retErr = fmt.Errorf("telemetry: %w", ferr)
+		}
+	}()
 
 	var pol mfgcp.Policy
 	switch *policyName {
@@ -52,6 +62,7 @@ func marketCmd(args []string) error {
 	cfg.StepsPerEpoch = *steps
 	cfg.Seed = *seed
 	cfg.ExactInterference = *exact
+	cfg.Obs = tel.Rec
 	if *requesters > 0 {
 		cfg.Requesters = sim.RequesterConfig{
 			J:                    *requesters,
@@ -92,5 +103,5 @@ func marketCmd(args []string) error {
 	l := res.MeanLedger()
 	fmt.Printf("\nwhole-run ledger (population mean): utility %.1f = trading %.1f + sharing %.1f − placement %.1f − staleness %.1f − share cost %.1f\n",
 		res.MeanUtility(), l.Trading, l.Sharing, l.Placement, l.Staleness, l.ShareCost)
-	return nil
+	return tel.summary("market")
 }

@@ -15,7 +15,7 @@ import (
 // parameter overrides from flags, a text summary, optional CSV dumps of the
 // strategy surface / density marginal / price path, and an optional gob
 // archive for reuse via the warm-start machinery.
-func solveCmd(args []string) error {
+func solveCmd(args []string) (retErr error) {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	requests := fs.Float64("requests", 10, "request load |I_k| per epoch")
 	pop := fs.Float64("pop", 0.3, "content popularity Π_k in [0,1]")
@@ -30,9 +30,19 @@ func solveCmd(args []string) error {
 	noShare := fs.Bool("no-share", false, "solve the MFG baseline without peer sharing")
 	csvDir := fs.String("csv", "", "write strategy/density/price CSVs into this directory")
 	saveTo := fs.String("save", "", "write the solved equilibrium archive (gob) to this file")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tel, err := of.setup()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := tel.finish(); ferr != nil && retErr == nil {
+			retErr = fmt.Errorf("telemetry: %w", ferr)
+		}
+	}()
 
 	params := mfgcp.DefaultParams()
 	if *qk > 0 {
@@ -59,6 +69,7 @@ func solveCmd(args []string) error {
 		cfg.Steps = *steps
 	}
 	cfg.ShareEnabled = !*noShare
+	cfg.Obs = tel.Rec
 
 	start := time.Now()
 	eq, err := mfgcp.SolveEquilibrium(cfg, mfgcp.Workload{
@@ -99,7 +110,7 @@ func solveCmd(args []string) error {
 		}
 		fmt.Printf("[equilibrium archive (%d bytes) written to %s]\n", n, *saveTo)
 	}
-	return nil
+	return tel.summary("solve")
 }
 
 func writeSolveCSVs(eq *mfgcp.Equilibrium, params mfgcp.Params, dir string) error {
@@ -164,10 +175,24 @@ func writeSolveCSVs(eq *mfgcp.Equilibrium, params mfgcp.Params, dir string) erro
 	econ.Add(ps)
 	econ.Add(xs)
 
+	// Algorithm 2 convergence: the sup-norm strategy residual after every
+	// best-response iteration.
+	conv := &metrics.SeriesSet{Title: "convergence", XLabel: "iteration", YLabel: "residual"}
+	iters := make([]float64, len(eq.Residuals))
+	for i := range iters {
+		iters[i] = float64(i + 1)
+	}
+	rs, err := metrics.NewSeries("sup-norm residual", iters, eq.Residuals)
+	if err != nil {
+		return err
+	}
+	conv.Add(rs)
+
 	for name, set := range map[string]*metrics.SeriesSet{
-		"solve_strategy.csv": strat,
-		"solve_density.csv":  dens,
-		"solve_market.csv":   econ,
+		"solve_strategy.csv":        strat,
+		"solve_density.csv":         dens,
+		"solve_market.csv":          econ,
+		"convergence_residuals.csv": conv,
 	} {
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestTraceOutWritesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	if err := run([]string{"fig5", "-quick", "-trace-out", trace, "-log-level", "error"}); err != nil {
+		t.Fatalf("fig5 with -trace-out: %v", err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatalf("trace snapshot missing: %v", err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	for _, c := range []string{"experiments.runs", "core.solver.iterations", "pde.hjb.sweeps"} {
+		if snap.Counters[c] <= 0 {
+			t.Errorf("counter %s = %g, want > 0 (got %+v)", c, snap.Counters[c], snap.Counters)
+		}
+	}
+	if snap.Histograms["core.solver.residual"].Count == 0 {
+		t.Error("per-iteration residual histogram missing from snapshot")
+	}
+}
+
+func TestSolveWritesConvergenceResiduals(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"solve", "-nh", "5", "-nq", "21", "-steps", "30", "-csv", dir}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "convergence_residuals.csv"))
+	if err != nil {
+		t.Fatalf("convergence_residuals.csv missing: %v", err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(raw)).ReadAll()
+	if err != nil {
+		t.Fatalf("bad CSV: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("want header plus at least one residual row, got %d rows", len(rows))
+	}
+	if rows[0][0] != "iteration" {
+		t.Errorf("header = %v, want iteration-first", rows[0])
+	}
+}
+
+func TestTraceOutUnwritablePathErrors(t *testing.T) {
+	if err := run([]string{"fig3", "-quick", "-log-level", "error",
+		"-trace-out", filepath.Join(t.TempDir(), "no-such-dir", "t.json")}); err == nil {
+		t.Error("unwritable -trace-out must fail the run, not drop the snapshot silently")
+	}
+}
+
+func TestObsFlagsParsing(t *testing.T) {
+	if err := run([]string{"fig3", "-quick", "-log-level", "nonsense"}); err == nil {
+		t.Error("invalid -log-level should error")
+	}
+	if err := run([]string{"solve", "-nh", "5", "-nq", "21", "-steps", "30",
+		"-log-level", "warn"}); err != nil {
+		t.Errorf("solve with -log-level: %v", err)
+	}
+}
+
+func TestMetricsServer(t *testing.T) {
+	if err := run([]string{"fig3", "-quick", "-metrics-addr", "127.0.0.1:0",
+		"-log-level", "error"}); err != nil {
+		t.Fatalf("fig3 with -metrics-addr: %v", err)
+	}
+}

@@ -22,14 +22,30 @@ type equilibriumArchive struct {
 }
 
 // WriteTo serialises the equilibrium. It returns the number of bytes written
-// as reported by the counting writer wrapped around w.
+// as reported by the counting writer wrapped around w. The telemetry recorder
+// (Config.Obs) is stripped first: it is runtime wiring, not equilibrium
+// state, and gob cannot encode arbitrary Recorder implementations.
 func (eq *Equilibrium) WriteTo(w io.Writer) (int64, error) {
+	clean := *eq
+	clean.Config = stripRuntime(clean.Config)
 	cw := &countingWriter{w: w}
 	enc := gob.NewEncoder(cw)
-	if err := enc.Encode(equilibriumArchive{Version: formatVersion, Eq: eq}); err != nil {
+	if err := enc.Encode(equilibriumArchive{Version: formatVersion, Eq: &clean}); err != nil {
 		return cw.n, fmt.Errorf("core: encode equilibrium: %w", err)
 	}
 	return cw.n, nil
+}
+
+// stripRuntime clears the non-serialisable runtime fields of a Config,
+// following the warm-start chain.
+func stripRuntime(c Config) Config {
+	c.Obs = nil
+	if c.WarmStart != nil {
+		ws := *c.WarmStart
+		ws.Config = stripRuntime(ws.Config)
+		c.WarmStart = &ws
+	}
+	return c
 }
 
 // ReadEquilibrium deserialises an equilibrium written by WriteTo.

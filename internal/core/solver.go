@@ -3,11 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"repro/internal/grid"
 	"repro/internal/mec"
 	"repro/internal/numerics"
+	"repro/internal/obs"
 	"repro/internal/pde"
 )
 
@@ -80,6 +82,12 @@ type Config struct {
 	// epoch; slowly-varying workloads converge in far fewer iterations from
 	// the previous epoch's fixed point).
 	WarmStart *Equilibrium
+
+	// Obs receives solver telemetry — per-iteration residual events, HJB and
+	// FPK pass spans, convergence counters ("core.solver.*" names). Nil means
+	// no-op: library users and tests opt in explicitly, and the hot loops pay
+	// nothing by default. The field is dropped from serialised archives.
+	Obs obs.Recorder
 }
 
 // DefaultConfig returns the solver configuration used by the experiments.
@@ -234,6 +242,9 @@ func Solve(cfg Config, w Workload) (*Equilibrium, error) {
 		}
 	}
 
+	rec := obs.OrNop(cfg.Obs)
+	solveSpan := rec.Start("core.solve")
+
 	eq := &Equilibrium{Config: cfg, Workload: w, Grid: g, Time: tm}
 	ou := channel.OU()
 	timeIndex := func(t float64) int {
@@ -290,6 +301,7 @@ func Solve(cfg Config, w Workload) (*Equilibrium, error) {
 				return ctxs[timeIndex(t)].Utility(x, h, q)
 			},
 			Stepping: cfg.Stepping,
+			Obs:      cfg.Obs,
 		}
 		hjb, err = pde.SolveHJB(prob)
 		if err != nil {
@@ -314,6 +326,16 @@ func Solve(cfg Config, w Workload) (*Equilibrium, error) {
 		eq.Residuals = append(eq.Residuals, residual)
 		eq.Iterations = iter
 		converged := residual < cfg.Tol
+		rec.Add("core.solver.iterations", 1)
+		rec.Observe("core.solver.residual", residual)
+		if rec.Enabled() {
+			rec.Event("core.iteration",
+				slog.Int("iteration", iter),
+				slog.Float64("residual", residual),
+				slog.Float64("tol", cfg.Tol),
+				slog.Float64("damping", cfg.Damping),
+				slog.Bool("converged", converged))
+		}
 
 		// 4. Forward FPK under the updated strategy.
 		fprob := &pde.FPKProblem{
@@ -325,6 +347,7 @@ func Solve(cfg Config, w Workload) (*Equilibrium, error) {
 			Form:        cfg.FPKForm,
 			Stepping:    cfg.Stepping,
 			Renormalize: true,
+			Obs:         cfg.Obs,
 			DriftQ: func(t, h, q float64) float64 {
 				n := timeIndex(t)
 				i := g.H.NearestIndex(h)
@@ -348,6 +371,27 @@ func Solve(cfg Config, w Workload) (*Equilibrium, error) {
 	eq.HJB = hjb
 	eq.FPK = fpk
 	eq.Snapshots = snaps
+
+	stopReason := "tolerance"
+	rec.Add("core.solver.solves", 1)
+	// One equilibrium solve serves one content for one optimisation epoch
+	// (Algorithm 1 line 9), so this mirrors sim's per-run "sim.epochs".
+	rec.Add("core.solver.content_epochs", 1)
+	if eq.Converged {
+		rec.Add("core.solver.converged", 1)
+	} else {
+		stopReason = "max_iters"
+		rec.Add("core.solver.nonconverged", 1)
+	}
+	rec.Gauge("core.solver.last_iterations", float64(eq.Iterations))
+	rec.Gauge("core.solver.last_residual", eq.Residuals[len(eq.Residuals)-1])
+	solveSpan.End(
+		slog.Int("iterations", eq.Iterations),
+		slog.Bool("converged", eq.Converged),
+		slog.String("stop_reason", stopReason),
+		slog.Float64("final_residual", eq.Residuals[len(eq.Residuals)-1]),
+		slog.Bool("warm_start", cfg.WarmStart != nil))
+
 	if !eq.Converged {
 		return eq, fmt.Errorf("%w after %d iterations (residual %.3g > tol %.3g)",
 			ErrNotConverged, eq.Iterations, eq.Residuals[len(eq.Residuals)-1], cfg.Tol)

@@ -14,6 +14,7 @@ import (
 // solverConfig sizes the equilibrium solver for the run mode.
 func solverConfig(p mec.Params, opt Options) core.Config {
 	cfg := core.DefaultConfig(p)
+	cfg.Obs = opt.Obs
 	if opt.Quick {
 		cfg.NH = 7
 		cfg.NQ = 31
@@ -72,6 +73,8 @@ func allPolicies() []policy.Policy {
 func marketConfig(p mec.Params, pol policy.Policy, opt Options) sim.Config {
 	cfg := sim.DefaultConfig(p, pol)
 	cfg.Seed = opt.Seed
+	cfg.Obs = opt.Obs
+	cfg.Solver.Obs = opt.Obs
 	if opt.Quick {
 		cfg.Epochs = 1
 		cfg.StepsPerEpoch = 20

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunRecordsExperimentSpan verifies that Run wraps every experiment in a
+// timing span and threads the recorder down into the solver.
+func TestRunRecordsExperimentSpan(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	opt := quickOpt()
+	opt.Obs = reg
+	if _, err := Run("fig5", opt); err != nil {
+		t.Fatalf("Run(fig5): %v", err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["experiments.runs"] != 1 {
+		t.Errorf("experiments.runs = %g, want 1", s.Counters["experiments.runs"])
+	}
+	if s.Histograms["experiment.fig5.seconds"].Count != 1 {
+		t.Errorf("experiment span missing: %+v", s.Histograms)
+	}
+	if s.Counters["core.solver.solves"] <= 0 {
+		t.Errorf("recorder not threaded into solver: %+v", s.Counters)
+	}
+	if s.Counters["pde.hjb.sweeps"] <= 0 {
+		t.Errorf("recorder not threaded into PDE layer: %+v", s.Counters)
+	}
+}
+
+// TestRunSpanRecordedOnError confirms telemetry still closes the span when an
+// experiment fails.
+func TestRunSpanRecordedOnError(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	opt := quickOpt()
+	opt.Obs = reg
+	if _, err := Run("no-such-experiment", opt); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	// Unknown IDs fail before the runner starts: no span, no run counter.
+	s := reg.Snapshot()
+	if s.Counters["experiments.runs"] != 0 {
+		t.Errorf("unknown id must not count as a run: %+v", s.Counters)
+	}
+}

@@ -9,12 +9,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Options tunes a run without changing its meaning.
@@ -24,6 +26,11 @@ type Options struct {
 	// Quick shrinks grids and populations so the whole suite finishes in
 	// seconds (used by tests and -short benchmarks). Shapes are preserved.
 	Quick bool
+	// Obs receives the solver and market telemetry of every stage the
+	// experiment runs (obs.Nop when nil). The CLI wires its -log-level,
+	// -metrics-addr and -trace-out flags through this field; results are
+	// unaffected.
+	Obs obs.Recorder
 }
 
 // DefaultOptions returns the options used when regenerating the paper's
@@ -163,5 +170,10 @@ func Run(id string, opt Options) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r(opt)
+	rec := obs.OrNop(opt.Obs)
+	span := rec.Start("experiment." + id)
+	rep, err := r(opt)
+	rec.Add("experiments.runs", 1)
+	span.End(slog.String("id", id), slog.Bool("ok", err == nil))
+	return rep, err
 }

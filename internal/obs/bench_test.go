@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"log/slog"
+	"testing"
+)
+
+// Micro-benchmarks of the Recorder primitives. The no-op variants bound what
+// an instrumented-but-disabled hot loop pays per call; the registry variants
+// bound the live cost (the pde benchmarks measure both end to end).
+
+func BenchmarkNopAdd(b *testing.B) {
+	r := OrNop(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add("pde.hjb.sweeps", 1)
+	}
+}
+
+func BenchmarkNopSpan(b *testing.B) {
+	r := OrNop(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Start("pde.hjb.solve").End()
+	}
+}
+
+func BenchmarkRegistryAdd(b *testing.B) {
+	r := NewRegistry(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add("pde.hjb.sweeps", 1)
+	}
+}
+
+func BenchmarkRegistryAddParallel(b *testing.B) {
+	r := NewRegistry(nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Add("pde.hjb.sweeps", 1)
+		}
+	})
+}
+
+func BenchmarkRegistryObserve(b *testing.B) {
+	r := NewRegistry(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Observe("core.solver.residual", float64(i))
+	}
+}
+
+func BenchmarkRegistrySpanNoLogger(b *testing.B) {
+	r := NewRegistry(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Start("pde.hjb.solve").End(slog.Int("steps", 120))
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sort"
+	"time"
+)
+
+// HistStat is the exported summary of one histogram.
+type HistStat struct {
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a Registry. It
+// marshals to JSON with sorted keys (Go maps marshal ordered), so equal
+// telemetry states produce byte-identical dumps.
+type Snapshot struct {
+	Counters   map[string]float64  `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]HistStat `json:"histograms"`
+}
+
+// Snapshot copies the current metric state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistStat),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.value()
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		st := HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			st.Mean = h.sum / float64(h.count)
+			varc := h.sumSq/float64(h.count) - st.Mean*st.Mean
+			if varc > 0 {
+				st.StdDev = math.Sqrt(varc)
+			}
+		}
+		h.mu.Unlock()
+		s.Histograms[name] = st
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("obs: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteJSONFile dumps the snapshot to path (the CLI's -trace-out sink).
+func (s Snapshot) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create %s: %w", path, err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshot parses a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Render writes a compact human-readable telemetry summary: counters,
+// gauges, then histogram timings, each sorted by name.
+func (s Snapshot) Render(w io.Writer) error {
+	names := func(n int) []string { return make([]string, 0, n) }
+	cn := names(len(s.Counters))
+	for n := range s.Counters {
+		cn = append(cn, n)
+	}
+	sort.Strings(cn)
+	for _, n := range cn {
+		if _, err := fmt.Fprintf(w, "  counter    %-34s %g\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	gn := names(len(s.Gauges))
+	for n := range s.Gauges {
+		gn = append(gn, n)
+	}
+	sort.Strings(gn)
+	for _, n := range gn {
+		if _, err := fmt.Fprintf(w, "  gauge      %-34s %g\n", n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	hn := names(len(s.Histograms))
+	for n := range s.Histograms {
+		hn = append(hn, n)
+	}
+	sort.Strings(hn)
+	for _, n := range hn {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "  histogram  %-34s n=%d mean=%.4g min=%.4g max=%.4g\n",
+			n, h.Count, h.Mean, h.Min, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PublishExpvar exposes the registry under the given expvar name (visible on
+// /debug/vars of any expvar-serving mux). Publishing the same name twice is
+// a no-op instead of the expvar panic, so tests and repeated CLI runs in one
+// process stay safe.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// ServeHTTP implements http.Handler by answering with the JSON snapshot, so
+// a Registry can be mounted directly as a /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = r.Snapshot().WriteJSON(w)
+}
+
+// Serve starts an HTTP server on addr exposing
+//
+//	/metrics      JSON snapshot of reg
+//	/debug/vars   expvar (including reg under "mfgcp")
+//	/debug/pprof  the standard pprof handlers
+//
+// It returns the running server and its bound address (useful with ":0").
+// The caller owns shutdown via srv.Close.
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	reg.PublishExpvar("mfgcp")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

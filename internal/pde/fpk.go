@@ -3,10 +3,13 @@ package pde
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/numerics"
+	"repro/internal/obs"
 )
 
 // FPKForm selects the spatial discretisation of the forward equation.
@@ -47,6 +50,10 @@ type FPKProblem struct {
 	// the conservative form this only removes round-off; with the advective
 	// form it compensates the structural mass loss.
 	Renormalize bool
+
+	// Obs receives solve/sweep telemetry ("pde.fpk.*" names); nil means
+	// no-op. The MFG layer threads core.Config.Obs through here.
+	Obs obs.Recorder
 }
 
 // Validate checks that the problem is completely specified.
@@ -130,6 +137,10 @@ func SolveFPK(p *FPKProblem, lambda0 []float64) (*FPKSolution, error) {
 	dt := p.Time.Dt()
 	cell := g.CellArea()
 
+	rec := obs.OrNop(p.Obs)
+	timed := rec.Enabled()
+	span := rec.Start("pde.fpk.solve")
+
 	sol := &FPKSolution{
 		Grid:    g,
 		Time:    p.Time,
@@ -149,6 +160,10 @@ func SolveFPK(p *FPKProblem, lambda0 []float64) (*FPKSolution, error) {
 		copy(next, sol.Lambda[n])
 
 		// Sweep in h (stride nq) for every q-column.
+		var sweepStart time.Time
+		if timed {
+			sweepStart = time.Now()
+		}
 		for j := 0; j < nq; j++ {
 			gather(swH.rhs, next, j, nq, nh)
 			for i := 0; i < nh; i++ {
@@ -167,6 +182,11 @@ func SolveFPK(p *FPKProblem, lambda0 []float64) (*FPKSolution, error) {
 				return nil, fmt.Errorf("pde: FPK h-sweep at step %d, column %d: %w", n, j, err)
 			}
 			scatter(next, swH.sol, j, nq, nh)
+		}
+		rec.Add("pde.fpk.sweeps", float64(nq))
+		if timed {
+			rec.Observe("pde.fpk.sweep.h.seconds", time.Since(sweepStart).Seconds())
+			sweepStart = time.Now()
 		}
 
 		// Sweep in q (stride 1) for every h-row.
@@ -191,6 +211,10 @@ func SolveFPK(p *FPKProblem, lambda0 []float64) (*FPKSolution, error) {
 			}
 			scatter(next, swQ.sol, start, 1, nq)
 		}
+		rec.Add("pde.fpk.sweeps", float64(nh))
+		if timed {
+			rec.Observe("pde.fpk.sweep.q.seconds", time.Since(sweepStart).Seconds())
+		}
 
 		m := mass(next, cell)
 		sol.RawMass[n+1] = m
@@ -209,6 +233,10 @@ func SolveFPK(p *FPKProblem, lambda0 []float64) (*FPKSolution, error) {
 		}
 		sol.Lambda[n+1] = next
 	}
+	rec.Add("pde.fpk.solves", 1)
+	rec.Add("pde.fpk.steps", float64(steps))
+	span.End(slog.Int("steps", steps), slog.Int("nh", nh), slog.Int("nq", nq),
+		slog.Float64("final_mass", sol.RawMass[steps]))
 	return sol, nil
 }
 

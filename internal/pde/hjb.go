@@ -3,9 +3,12 @@ package pde
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/numerics"
+	"repro/internal/obs"
 )
 
 // HJBProblem specifies the backward HJB equation (Eq. 20)
@@ -40,6 +43,10 @@ type HJBProblem struct {
 	// Stepping selects implicit (default, unconditionally stable) or
 	// explicit (CFL-bounded, ablation) time integration.
 	Stepping Stepping
+
+	// Obs receives solve/sweep telemetry ("pde.hjb.*" names); nil means
+	// no-op. The MFG layer threads core.Config.Obs through here.
+	Obs obs.Recorder
 }
 
 // Validate checks that the problem is completely specified.
@@ -119,6 +126,10 @@ func SolveHJB(p *HJBProblem) (*HJBSolution, error) {
 	steps := p.Time.Steps
 	dt := p.Time.Dt()
 
+	rec := obs.OrNop(p.Obs)
+	timed := rec.Enabled()
+	span := rec.Start("pde.hjb.solve")
+
 	sol := &HJBSolution{
 		Grid: g,
 		Time: p.Time,
@@ -170,6 +181,10 @@ func SolveHJB(p *HJBProblem) (*HJBSolution, error) {
 		}
 
 		// 3. Sweep in h (stride nq) for every q-column.
+		var sweepStart time.Time
+		if timed {
+			sweepStart = time.Now()
+		}
 		for j := 0; j < nq; j++ {
 			gather(swH.rhs, work, j, nq, nh)
 			for i := 0; i < nh; i++ {
@@ -185,6 +200,11 @@ func SolveHJB(p *HJBProblem) (*HJBSolution, error) {
 				return nil, fmt.Errorf("pde: HJB h-sweep at step %d, column %d: %w", n, j, err)
 			}
 			scatter(work, swH.sol, j, nq, nh)
+		}
+		rec.Add("pde.hjb.sweeps", float64(nq))
+		if timed {
+			rec.Observe("pde.hjb.sweep.h.seconds", time.Since(sweepStart).Seconds())
+			sweepStart = time.Now()
 		}
 
 		// 4. Sweep in q (stride 1) for every h-row.
@@ -206,8 +226,15 @@ func SolveHJB(p *HJBProblem) (*HJBSolution, error) {
 			}
 			scatter(vn, swQ.sol, start, 1, nq)
 		}
+		rec.Add("pde.hjb.sweeps", float64(nh))
+		if timed {
+			rec.Observe("pde.hjb.sweep.q.seconds", time.Since(sweepStart).Seconds())
+		}
 		sol.V[n] = vn
 	}
 	sol.X[steps] = sol.X[steps-1]
+	rec.Add("pde.hjb.solves", 1)
+	rec.Add("pde.hjb.steps", float64(steps))
+	span.End(slog.Int("steps", steps), slog.Int("nh", nh), slog.Int("nq", nq))
 	return sol, nil
 }

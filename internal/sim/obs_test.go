@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+// TestRunRecordsTelemetry checks that the market simulation feeds the
+// recorder: epoch spans, service-case counters, and income tallies, and that
+// the solver inherits the recorder when none is set explicitly.
+func TestRunRecordsTelemetry(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	cfg := quickConfig(t, policy.NewMFGCP())
+	cfg.Obs = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["sim.epochs"]; got != float64(cfg.Epochs) {
+		t.Errorf("sim.epochs = %g, want %d", got, cfg.Epochs)
+	}
+	served := s.Counters["sim.serve.local_hit"] + s.Counters["sim.serve.peer_share"] + s.Counters["sim.serve.cloud_fetch"]
+	if served <= 0 {
+		t.Errorf("no service events recorded: %+v", s.Counters)
+	}
+	if s.Histograms["sim.epoch.seconds"].Count != uint64(cfg.Epochs) {
+		t.Errorf("epoch span count = %d, want %d", s.Histograms["sim.epoch.seconds"].Count, cfg.Epochs)
+	}
+	// The MFG-CP policy solves the mean-field game during Prepare; the solver
+	// must have inherited the simulation recorder.
+	if s.Counters["core.solver.solves"] <= 0 {
+		t.Errorf("solver did not inherit recorder: %+v", s.Counters)
+	}
+	if len(res.Stats) != cfg.Epochs {
+		t.Fatalf("unexpected result shape: %d epochs", len(res.Stats))
+	}
+}
+
+// TestRunTelemetryNoObserverEffect pins that attaching a recorder leaves the
+// seeded simulation byte-for-byte deterministic.
+func TestRunTelemetryNoObserverEffect(t *testing.T) {
+	plain, err := Run(quickConfig(t, policy.NewMFGCP()))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg := quickConfig(t, policy.NewMFGCP())
+	cfg.Obs = obs.NewRegistry(nil)
+	recorded, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run with recorder: %v", err)
+	}
+	for i := range plain.Stats {
+		if plain.Stats[i].MeanUtility != recorded.Stats[i].MeanUtility {
+			t.Errorf("epoch %d mean utility differs: %g vs %g",
+				i, plain.Stats[i].MeanUtility, recorded.Stats[i].MeanUtility)
+		}
+		if plain.Stats[i].MeanPrice != recorded.Stats[i].MeanPrice {
+			t.Errorf("epoch %d mean price differs: %g vs %g",
+				i, plain.Stats[i].MeanPrice, recorded.Stats[i].MeanPrice)
+		}
+	}
+}

@@ -13,12 +13,14 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/mec"
 	"repro/internal/numerics"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sde"
 	"repro/internal/trace"
@@ -61,6 +63,13 @@ type Config struct {
 
 	// Area is the side length of the square deployment region.
 	Area float64
+
+	// Obs receives market telemetry — per-epoch spans, service-case counters
+	// (local hit / peer share / cloud fetch), trading income and cache
+	// occupancy gauges ("sim.*" names). Nil means no-op. When the solver
+	// config carries no recorder of its own it inherits this one, so one
+	// injection instruments the whole Algorithm-1 pipeline.
+	Obs obs.Recorder
 }
 
 // DefaultConfig returns the simulation settings used by the experiments.
@@ -219,6 +228,10 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	rec := obs.OrNop(cfg.Obs)
+	if cfg.Solver.Obs == nil {
+		cfg.Solver.Obs = cfg.Obs
+	}
 	p := cfg.Params
 	channel, err := mec.NewChannelModel(p)
 	if err != nil {
@@ -276,6 +289,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochSpan := rec.Start("sim.epoch")
 		// --- Demand refresh (Algorithm 1, lines 4–5 and 8).
 		shares, err := ds.DayShares(epoch % ds.Days)
 		if err != nil {
@@ -404,8 +418,10 @@ func Run(cfg Config) (*Result, error) {
 					} else {
 						rate = transmissionRate(channel, agents, i, cfg.ExactInterference)
 					}
+					rec.Add("sim.requests.served", r*dt)
 					switch {
 					case a.q[k] <= alphaQ: // Case 1: sell own cache
+						rec.Add("sim.serve.local_hit", 1)
 						led.Trading += r * price * (p.Qk - a.q[k]) * dt
 						led.Staleness += p.Eta2 * r * (p.Qk - a.q[k]) / rate * dt
 					default:
@@ -413,6 +429,7 @@ func Run(cfg Config) (*Result, error) {
 						peer := &agents[j]
 						if cfg.Policy.SharingEnabled() && peer.q[k] <= alphaQ {
 							// Case 2: buy the gap from the peer, sell on.
+							rec.Add("sim.serve.peer_share", 1)
 							led.Trading += r * price * (p.Qk - peer.q[k]) * dt
 							led.Staleness += p.Eta2 * r * (p.Qk - peer.q[k]) / rate * dt
 							pay := p.SharePrice * (a.q[k] - peer.q[k]) * dt
@@ -422,6 +439,7 @@ func Run(cfg Config) (*Result, error) {
 							}
 						} else {
 							// Case 3: fetch the uncached part from the centre.
+							rec.Add("sim.serve.cloud_fetch", 1)
 							led.Trading += r * price * p.Qk * dt
 							led.Staleness += p.Eta2 * r * (a.q[k]/p.HubRate + p.Qk/rate) * dt
 						}
@@ -470,6 +488,19 @@ func Run(cfg Config) (*Result, error) {
 			es.MeanRate = rateAcc / float64(priceN)
 		}
 		res.Stats = append(res.Stats, es)
+
+		rec.Add("sim.epochs", 1)
+		rec.Add("sim.trading.income", es.MeanTrading*m)
+		rec.Add("sim.sharing.income", es.MeanSharing*m)
+		rec.Gauge("sim.cache.mean_remaining", es.MeanRemain)
+		rec.Gauge("sim.price.mean", es.MeanPrice)
+		epochSpan.End(
+			slog.Int("epoch", epoch),
+			slog.String("policy", res.PolicyName),
+			slog.Float64("mean_utility", es.MeanUtility),
+			slog.Float64("mean_price", es.MeanPrice),
+			slog.Float64("mean_remaining", es.MeanRemain),
+			slog.Duration("strategy_time", prepTime))
 	}
 
 	res.FinalQ = make([][]float64, p.M)

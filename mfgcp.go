@@ -24,9 +24,12 @@
 package mfgcp
 
 import (
+	"log/slog"
+
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mec"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -146,3 +149,23 @@ func ExperimentIDs() []string { return experiments.IDs() }
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
 	return experiments.Run(id, opt)
 }
+
+// Recorder is the telemetry sink accepted by SolverConfig.Obs,
+// MarketConfig.Obs and ExperimentOptions.Obs. The zero value of every config
+// leaves it nil, which is equivalent to NopRecorder: no clocks are read and
+// no allocations happen in the solver hot loops.
+type Recorder = obs.Recorder
+
+// MetricsRegistry is the standard Recorder: lock-cheap counters, gauges and
+// streaming-moment histograms, with JSON / expvar snapshot export.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a MetricsRegistry's contents.
+type MetricsSnapshot = obs.Snapshot
+
+// NopRecorder discards everything; it is the implicit default.
+var NopRecorder = obs.Nop
+
+// NewRecorder returns a live metrics registry. A nil logger disables the
+// structured span/event log and keeps only counters, gauges and histograms.
+func NewRecorder(logger *slog.Logger) *MetricsRegistry { return obs.NewRegistry(logger) }

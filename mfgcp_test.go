@@ -196,3 +196,29 @@ func TestPublicAPIEquilibriumArchive(t *testing.T) {
 		t.Errorf("archive warm start used %d iterations, cold used %d", warm.Iterations, eq.Iterations)
 	}
 }
+
+func TestPublicAPITelemetry(t *testing.T) {
+	rec := mfgcp.NewRecorder(nil)
+	cfg := mfgcp.DefaultSolverConfig(mfgcp.DefaultParams())
+	cfg.NH, cfg.NQ, cfg.Steps = 5, 21, 30
+	cfg.Obs = rec
+	if _, err := mfgcp.SolveEquilibrium(cfg, mfgcp.Workload{Requests: 10, Pop: 0.3, Timeliness: 2}); err != nil {
+		t.Fatalf("SolveEquilibrium: %v", err)
+	}
+	snap := rec.Snapshot()
+	if snap.Counters["core.solver.solves"] != 1 {
+		t.Errorf("facade recorder saw no solve: %+v", snap.Counters)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), "core.solver.iterations") {
+		t.Error("snapshot JSON missing iteration counter")
+	}
+	// The no-op recorder is exported and inert.
+	mfgcp.NopRecorder.Add("x", 1)
+	if mfgcp.NopRecorder.Enabled() {
+		t.Error("NopRecorder must report disabled")
+	}
+}
