@@ -12,6 +12,8 @@
 //	-quick              shrink grids/populations for a fast smoke run
 //	-seed N             RNG seed (default 1)
 //	-csv DIR            also write every table/series as CSV files into DIR
+//	-scheme NAME        PDE time integrator: implicit (default) or explicit
+//	-eq-cache N         equilibrium cache capacity for market runs (0 = off)
 //	-log-level LEVEL    structured slog tracing (debug shows solver spans and
 //	                    per-iteration residuals)
 //	-metrics-addr ADDR  serve /metrics, /debug/vars and /debug/pprof
@@ -60,6 +62,8 @@ func run(args []string) (retErr error) {
 	quick := fs.Bool("quick", false, "shrink grids/populations for a fast run")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	csvDir := fs.String("csv", "", "write CSV artefacts into this directory")
+	scheme := fs.String("scheme", "", "PDE time integrator: implicit (default) or explicit")
+	eqCache := fs.Int("eq-cache", 0, "equilibrium cache capacity for market runs (0 = off)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -73,7 +77,13 @@ func run(args []string) (retErr error) {
 			retErr = fmt.Errorf("telemetry: %w", ferr)
 		}
 	}()
-	opt := experiments.Options{Seed: *seed, Quick: *quick, Obs: tel.Rec}
+	opt := experiments.Options{
+		Seed:        *seed,
+		Quick:       *quick,
+		Obs:         tel.Rec,
+		Scheme:      *scheme,
+		EqCacheSize: *eqCache,
+	}
 
 	if cmd != "all" && !knownExperiment(cmd) {
 		tel.errorLogger().Error("unknown experiment",
@@ -135,6 +145,8 @@ flags:
   -quick              fast smoke run (smaller grids and populations)
   -seed N             RNG seed (default 1)
   -csv DIR            also write CSV artefacts into DIR
+  -scheme NAME        PDE time integrator: implicit (default) or explicit
+  -eq-cache N         equilibrium cache capacity for market runs (0 = off)
   -log-level LEVEL    structured slog tracing: debug, info, warn, error
   -metrics-addr ADDR  serve /metrics, /debug/vars and /debug/pprof on ADDR
   -trace-out FILE     write a JSON telemetry snapshot to FILE

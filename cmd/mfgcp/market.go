@@ -24,6 +24,8 @@ func marketCmd(args []string) (retErr error) {
 	seed := fs.Int64("seed", 1, "RNG seed")
 	requesters := fs.Int("requesters", 0, "requester population J (0 = homogeneous demand)")
 	exact := fs.Bool("exact-interference", false, "pairwise SINR instead of the mean-field rate")
+	scheme := fs.String("scheme", "", "PDE time integrator: implicit (default) or explicit")
+	eqCache := fs.Int("eq-cache", 0, "equilibrium cache capacity across epochs (0 = off)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +64,8 @@ func marketCmd(args []string) (retErr error) {
 	cfg.StepsPerEpoch = *steps
 	cfg.Seed = *seed
 	cfg.ExactInterference = *exact
+	cfg.Solver.Scheme = *scheme
+	cfg.EqCacheSize = *eqCache
 	cfg.Obs = tel.Rec
 	if *requesters > 0 {
 		cfg.Requesters = sim.RequesterConfig{

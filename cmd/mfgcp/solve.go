@@ -28,6 +28,7 @@ func solveCmd(args []string) (retErr error) {
 	nq := fs.Int("nq", 0, "q-grid nodes (0 keeps the default)")
 	steps := fs.Int("steps", 0, "time steps (0 keeps the default)")
 	noShare := fs.Bool("no-share", false, "solve the MFG baseline without peer sharing")
+	scheme := fs.String("scheme", "", "PDE time integrator: implicit (default) or explicit")
 	csvDir := fs.String("csv", "", "write strategy/density/price CSVs into this directory")
 	saveTo := fs.String("save", "", "write the solved equilibrium archive (gob) to this file")
 	of := addObsFlags(fs)
@@ -69,6 +70,7 @@ func solveCmd(args []string) (retErr error) {
 		cfg.Steps = *steps
 	}
 	cfg.ShareEnabled = !*noShare
+	cfg.Scheme = *scheme
 	cfg.Obs = tel.Rec
 
 	start := time.Now()

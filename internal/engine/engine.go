@@ -1,0 +1,220 @@
+// Package engine is the reusable solver layer behind the MFG-CP framework:
+// it owns the mean-field estimator (Eqs. 14–18), the iterative best-response
+// learning scheme that drives the coupled HJB–FPK system to a mean-field
+// equilibrium (Algorithm 2), and the representative-agent rollouts evaluated
+// along equilibrium trajectories.
+//
+// The package turns the one-shot solver of earlier revisions into a service
+// layer with three building blocks:
+//
+//   - a Session owning every grid, tridiagonal, value and density workspace,
+//     so the damped best-response loop runs with zero per-iteration heap
+//     allocations and repeated solves reuse the same buffers;
+//   - pluggable pde.Scheme time integrators (implicit splitting by default,
+//     the CFL-bounded explicit integrator as an ablation), selected through
+//     Config.Scheme instead of separate entry points;
+//   - a bounded, concurrency-safe Cache of solved equilibria keyed by a
+//     canonical encoding of (quantised params, workload, grid resolution),
+//     giving the policy and simulation layers warm-start reuse across
+//     contents and epochs.
+//
+// internal/core re-exports everything here for compatibility.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mec"
+	"repro/internal/numerics"
+	"repro/internal/obs"
+	"repro/internal/pde"
+)
+
+// Workload is the per-epoch, per-content demand descriptor feeding one
+// equilibrium computation: the request load |I_k|, the current popularity
+// Π_k(t) and the timeliness level L_k(t). Algorithm 1 refreshes these from
+// the trace at the start of every optimisation epoch and holds them fixed
+// within it ("the change in requesters' demands occurs at a relatively slow
+// rate compared to the time scale of the optimization epoch").
+type Workload struct {
+	Requests   float64
+	Pop        float64
+	Timeliness float64
+}
+
+// Validate checks the workload descriptor.
+func (w Workload) Validate() error {
+	if w.Requests < 0 {
+		return fmt.Errorf("core: workload requests must be non-negative, got %g", w.Requests)
+	}
+	if w.Pop < 0 || w.Pop > 1 {
+		return fmt.Errorf("core: workload popularity must lie in [0,1], got %g", w.Pop)
+	}
+	if w.Timeliness < 0 {
+		return fmt.Errorf("core: workload timeliness must be non-negative, got %g", w.Timeliness)
+	}
+	return nil
+}
+
+// Config controls one mean-field equilibrium computation (Algorithm 2).
+type Config struct {
+	Params mec.Params
+
+	// Grid resolution: NH×NQ state nodes, Steps time intervals over the
+	// horizon T.
+	NH, NQ, Steps int
+
+	// MaxIters is ψ_th, the cap on best-response iterations; Tol is the
+	// sup-norm threshold on the strategy change |x^ψ − x^(ψ−1)| below which
+	// the iteration stops (Algorithm 2, line 6).
+	MaxIters int
+	Tol      float64
+
+	// Damping γ ∈ (0,1] relaxes the strategy update,
+	// x ← (1−γ)·x_old + γ·x_new, which accelerates and robustifies the
+	// fixed-point iteration (γ=1 reproduces the undamped Algorithm 2).
+	Damping float64
+
+	// FPKForm selects the forward-equation discretisation (conservative by
+	// default; pde.Advective reproduces the paper-literal Eq. 15).
+	FPKForm pde.FPKForm
+
+	// Stepping selects the time integrator of both PDEs (implicit by
+	// default; pde.Explicit is the CFL-bounded ablation). Scheme, when set,
+	// takes precedence.
+	Stepping pde.Stepping
+
+	// Scheme selects the time integrator by name ("implicit" or "explicit";
+	// see pde.SchemeNames). The empty string defers to Stepping, keeping old
+	// configurations working.
+	Scheme string
+
+	// ShareEnabled distinguishes MFG-CP (true) from the MFG baseline
+	// without peer sharing (false).
+	ShareEnabled bool
+
+	// InitLambda optionally overrides the initial density (flattened over
+	// the grid). When nil, the Section-V initialisation is used: Gaussian
+	// over q with mean InitMeanFrac·Qk and sd InitStdFrac·Qk, and the OU
+	// stationary Gaussian over h.
+	InitLambda []float64
+
+	// WarmStart optionally seeds the best-response iteration with the
+	// strategy and density paths of a previously solved equilibrium on the
+	// same grid and time mesh (Algorithm 1 runs one solve per content per
+	// epoch; slowly-varying workloads converge in far fewer iterations from
+	// the previous epoch's fixed point).
+	WarmStart *Equilibrium
+
+	// Obs receives solver telemetry — per-iteration residual events, HJB and
+	// FPK pass spans, convergence counters ("core.solver.*" names) and the
+	// engine-layer session/cache counters ("engine.*" names). Nil means
+	// no-op: library users and tests opt in explicitly, and the hot loops pay
+	// nothing by default. The field is dropped from serialised archives.
+	Obs obs.Recorder
+}
+
+// DefaultConfig returns the solver configuration used by the experiments.
+func DefaultConfig(p mec.Params) Config {
+	return Config{
+		Params:       p,
+		NH:           13,
+		NQ:           61,
+		Steps:        120,
+		MaxIters:     40,
+		Tol:          1e-3,
+		Damping:      0.6,
+		FPKForm:      pde.Conservative,
+		ShareEnabled: true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.NH < 3 || c.NQ < 3 {
+		return fmt.Errorf("core: grid must be at least 3×3, got %d×%d", c.NH, c.NQ)
+	}
+	if c.Steps < 2 {
+		return fmt.Errorf("core: need at least 2 time steps, got %d", c.Steps)
+	}
+	if c.MaxIters < 1 {
+		return fmt.Errorf("core: MaxIters must be ≥ 1, got %d", c.MaxIters)
+	}
+	if !(c.Tol > 0) {
+		return fmt.Errorf("core: Tol must be positive, got %g", c.Tol)
+	}
+	if !(c.Damping > 0 && c.Damping <= 1) {
+		return fmt.Errorf("core: Damping must lie in (0,1], got %g", c.Damping)
+	}
+	if _, err := c.scheme(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scheme resolves the configured time integrator: Scheme by name when set,
+// otherwise the legacy Stepping constant.
+func (c Config) scheme() (pde.Scheme, error) {
+	if c.Scheme != "" {
+		return pde.SchemeByName(c.Scheme)
+	}
+	return pde.SchemeFor(c.Stepping)
+}
+
+// Equilibrium is the solved mean-field equilibrium for one content over one
+// optimisation epoch: the value function and optimal strategy (HJB), the
+// mean-field density path (FPK), the estimator snapshots at every time node,
+// and the convergence diagnostics of the best-response iteration.
+type Equilibrium struct {
+	Config   Config
+	Workload Workload
+	Grid     grid.Grid2D
+	Time     grid.TimeMesh
+
+	HJB       *pde.HJBSolution
+	FPK       *pde.FPKSolution
+	Snapshots []Snapshot
+
+	Iterations int
+	Converged  bool
+	// Residuals[i] is the sup-norm strategy change after iteration i+1.
+	Residuals []float64
+}
+
+// ErrNotConverged is wrapped by Solve when the best-response iteration hits
+// MaxIters with a residual above Tol. The partially converged equilibrium is
+// still returned alongside it so callers can inspect diagnostics.
+var ErrNotConverged = errors.New("core: best-response iteration did not converge")
+
+// SnapshotAt returns the estimator snapshot nearest to time t.
+func (eq *Equilibrium) SnapshotAt(t float64) Snapshot {
+	n := int(t/eq.Time.Dt() + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(eq.Snapshots) {
+		n = len(eq.Snapshots) - 1
+	}
+	return eq.Snapshots[n]
+}
+
+// MarginalQ returns the q-marginal of the mean-field density at time index n
+// (the quantity plotted in Figs. 4, 6 and 7).
+func (eq *Equilibrium) MarginalQ(n int) ([]float64, error) {
+	if eq.FPK == nil {
+		return nil, errors.New("core: equilibrium has no FPK solution")
+	}
+	if n < 0 || n >= len(eq.FPK.Lambda) {
+		return nil, fmt.Errorf("core: time index %d out of range [0,%d)", n, len(eq.FPK.Lambda))
+	}
+	dst := make([]float64, eq.Grid.Q.N)
+	if err := numerics.MarginalQ(eq.Grid, dst, eq.FPK.Lambda[n]); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/mec"
+)
+
+// goldenFingerprint is the bit-level fingerprint of one pre-refactor
+// core.Solve run, captured on the monolithic solver before the engine layer
+// existed (see testdata/golden_small.json). Float64 values are stored as
+// math.Float64bits words so the comparison is exact, not approximate.
+type goldenFingerprint struct {
+	NH, NQ, Steps, MaxIters int
+	Tol, Damping            float64
+	Requests, Pop           float64
+	Timeliness              float64
+
+	Iterations int
+	Converged  bool
+	Residuals  []uint64
+	V0         []uint64
+	X0         []uint64
+	LambdaT    []uint64
+	Price0     uint64
+	PriceT     uint64
+}
+
+func loadGolden(t *testing.T) goldenFingerprint {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/golden_small.json")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var g goldenFingerprint
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatalf("decode golden: %v", err)
+	}
+	return g
+}
+
+func goldenConfig(g goldenFingerprint) (Config, Workload) {
+	cfg := DefaultConfig(mec.Default())
+	cfg.NH = g.NH
+	cfg.NQ = g.NQ
+	cfg.Steps = g.Steps
+	cfg.MaxIters = g.MaxIters
+	cfg.Tol = g.Tol
+	cfg.Damping = g.Damping
+	w := Workload{Requests: g.Requests, Pop: g.Pop, Timeliness: g.Timeliness}
+	return cfg, w
+}
+
+// maxULPDiff compares a solved float64 slice against golden bit words and
+// returns the largest absolute difference.
+func maxAbsDiff(t *testing.T, name string, got []float64, want []uint64) float64 {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, golden has %d", name, len(got), len(want))
+	}
+	var worst float64
+	for i := range got {
+		d := math.Abs(got[i] - math.Float64frombits(want[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestGoldenEquivalence guards the multi-layer refactor: the engine session
+// must reproduce the pre-refactor core.Solve equilibrium (V, x*, λ, price
+// path, residual history) within 1e-12 on the captured small grid. The
+// solver's numerics were reorganised buffer-for-buffer, so in practice the
+// agreement is exact to the bit; the 1e-12 bound is the acceptance criterion.
+func TestGoldenEquivalence(t *testing.T) {
+	g := loadGolden(t)
+	cfg, w := goldenConfig(g)
+	eq, err := Solve(cfg, w)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if eq.Iterations != g.Iterations {
+		t.Errorf("iterations: got %d, golden %d", eq.Iterations, g.Iterations)
+	}
+	if eq.Converged != g.Converged {
+		t.Errorf("converged: got %v, golden %v", eq.Converged, g.Converged)
+	}
+	if len(eq.Residuals) != len(g.Residuals) {
+		t.Fatalf("residuals: got %d entries, golden %d", len(eq.Residuals), len(g.Residuals))
+	}
+	const tol = 1e-12
+	if d := maxAbsDiff(t, "residuals", eq.Residuals, g.Residuals); d > tol {
+		t.Errorf("residual history differs from pre-refactor solver by %g (> %g)", d, tol)
+	}
+	if d := maxAbsDiff(t, "V0", eq.HJB.V[0], g.V0); d > tol {
+		t.Errorf("V(0,·) differs from pre-refactor solver by %g (> %g)", d, tol)
+	}
+	if d := maxAbsDiff(t, "X0", eq.HJB.X[0], g.X0); d > tol {
+		t.Errorf("x*(0,·) differs from pre-refactor solver by %g (> %g)", d, tol)
+	}
+	if d := maxAbsDiff(t, "LambdaT", eq.FPK.Lambda[g.Steps], g.LambdaT); d > tol {
+		t.Errorf("λ(T,·) differs from pre-refactor solver by %g (> %g)", d, tol)
+	}
+	if d := math.Abs(eq.Snapshots[0].Price - math.Float64frombits(g.Price0)); d > tol {
+		t.Errorf("price(0) differs from pre-refactor solver by %g (> %g)", d, tol)
+	}
+	if d := math.Abs(eq.Snapshots[g.Steps].Price - math.Float64frombits(g.PriceT)); d > tol {
+		t.Errorf("price(T) differs from pre-refactor solver by %g (> %g)", d, tol)
+	}
+}
+
+// TestGoldenEquivalenceSessionReuse solves a different workload first and the
+// golden one second on the same session: buffer reuse across solves must not
+// leak state between solves.
+func TestGoldenEquivalenceSessionReuse(t *testing.T) {
+	g := loadGolden(t)
+	cfg, w := goldenConfig(g)
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if _, err := s.Solve(Workload{Requests: 25, Pop: 0.8, Timeliness: 4}, nil); err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	eq, err := s.Solve(w, nil)
+	if err != nil {
+		t.Fatalf("second solve: %v", err)
+	}
+	const tol = 1e-12
+	if d := maxAbsDiff(t, "V0", eq.HJB.V[0], g.V0); d > tol {
+		t.Errorf("session reuse: V(0,·) differs by %g (> %g)", d, tol)
+	}
+	if d := maxAbsDiff(t, "X0", eq.HJB.X[0], g.X0); d > tol {
+		t.Errorf("session reuse: x*(0,·) differs by %g (> %g)", d, tol)
+	}
+	if d := maxAbsDiff(t, "LambdaT", eq.FPK.Lambda[g.Steps], g.LambdaT); d > tol {
+		t.Errorf("session reuse: λ(T,·) differs by %g (> %g)", d, tol)
+	}
+	if eq.Iterations != g.Iterations {
+		t.Errorf("session reuse: iterations %d, golden %d", eq.Iterations, g.Iterations)
+	}
+}

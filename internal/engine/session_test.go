@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/mec"
+)
+
+func smallConfig() (Config, Workload) {
+	cfg := DefaultConfig(mec.Default())
+	cfg.NH = 7
+	cfg.NQ = 21
+	cfg.Steps = 30
+	return cfg, Workload{Requests: 10, Pop: 0.3, Timeliness: 2}
+}
+
+// TestSessionSteadyStateZeroAlloc pins the engine's core guarantee: once a
+// session is warmed up, one damped best-response iteration performs zero heap
+// allocations (telemetry disabled). Regressions here silently reintroduce
+// the per-iteration garbage the engine layer was built to eliminate.
+func TestSessionSteadyStateZeroAlloc(t *testing.T) {
+	cfg, w := smallConfig()
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if err := s.begin(w, nil); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	// Warm-up iterations let one-time lazy paths (if any) settle.
+	for i := 0; i < 2; i++ {
+		if _, err := s.iterate(i + 1); err != nil {
+			t.Fatalf("warm-up iterate: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.iterate(3); err != nil {
+			t.Fatalf("iterate: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state best-response iteration allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSessionSolveMatchesOneShot confirms the reusable-session path and the
+// package-level one-shot path produce identical equilibria.
+func TestSessionSolveMatchesOneShot(t *testing.T) {
+	cfg, w := smallConfig()
+	oneShot, err := Solve(cfg, w)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	viaSession, err := s.Solve(w, nil)
+	if err != nil {
+		t.Fatalf("session Solve: %v", err)
+	}
+	if oneShot.Iterations != viaSession.Iterations {
+		t.Errorf("iterations: one-shot %d, session %d", oneShot.Iterations, viaSession.Iterations)
+	}
+	for n := range oneShot.HJB.X {
+		for k := range oneShot.HJB.X[n] {
+			if oneShot.HJB.X[n][k] != viaSession.HJB.X[n][k] {
+				t.Fatalf("X[%d][%d]: one-shot %g, session %g", n, k, oneShot.HJB.X[n][k], viaSession.HJB.X[n][k])
+			}
+		}
+	}
+}
+
+// TestSessionWarmStartConverges checks that warm-starting from a neighbouring
+// workload's equilibrium never takes more iterations than the cold start.
+func TestSessionWarmStartConverges(t *testing.T) {
+	cfg, w := smallConfig()
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	base, err := s.Solve(w, nil)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	near := Workload{Requests: w.Requests * 1.02, Pop: w.Pop, Timeliness: w.Timeliness}
+	cold, err := s.Solve(near, nil)
+	if err != nil {
+		t.Fatalf("cold near solve: %v", err)
+	}
+	warm, err := s.Solve(near, base)
+	if err != nil {
+		t.Fatalf("warm near solve: %v", err)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Errorf("warm start took %d iterations, cold start %d", warm.Iterations, cold.Iterations)
+	}
+	if !warm.Converged {
+		t.Errorf("warm-started solve did not converge")
+	}
+}
+
+// BenchmarkEngineSession measures one steady-state best-response iteration on
+// the experiments' default grid. CI runs it with -benchmem and fails if it
+// reports a non-zero allocs/op.
+func BenchmarkEngineSession(b *testing.B) {
+	cfg := DefaultConfig(mec.Default())
+	w := Workload{Requests: 10, Pop: 0.3, Timeliness: 2}
+	s, err := NewSession(cfg)
+	if err != nil {
+		b.Fatalf("NewSession: %v", err)
+	}
+	if err := s.begin(w, nil); err != nil {
+		b.Fatalf("begin: %v", err)
+	}
+	if _, err := s.iterate(1); err != nil {
+		b.Fatalf("warm-up iterate: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.iterate(2); err != nil {
+			b.Fatalf("iterate: %v", err)
+		}
+	}
+}
+
+// BenchmarkEngineSolveCold measures a full cold equilibrium solve (session
+// construction included) for comparison with the warm-started path.
+func BenchmarkEngineSolveCold(b *testing.B) {
+	cfg, w := smallConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(cfg, w); err != nil {
+			b.Fatalf("Solve: %v", err)
+		}
+	}
+}
+
+// BenchmarkEngineSolveWarm measures a repeated same-workload solve seeded
+// with the previous fixed point on a reused session — the cache warm-start
+// path of the policy layer.
+func BenchmarkEngineSolveWarm(b *testing.B) {
+	cfg, w := smallConfig()
+	s, err := NewSession(cfg)
+	if err != nil {
+		b.Fatalf("NewSession: %v", err)
+	}
+	base, err := s.Solve(w, nil)
+	if err != nil {
+		b.Fatalf("base solve: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(w, base); err != nil {
+			b.Fatalf("warm solve: %v", err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 func solverConfig(p mec.Params, opt Options) core.Config {
 	cfg := core.DefaultConfig(p)
 	cfg.Obs = opt.Obs
+	cfg.Scheme = opt.Scheme
 	if opt.Quick {
 		cfg.NH = 7
 		cfg.NQ = 31
@@ -75,6 +76,8 @@ func marketConfig(p mec.Params, pol policy.Policy, opt Options) sim.Config {
 	cfg.Seed = opt.Seed
 	cfg.Obs = opt.Obs
 	cfg.Solver.Obs = opt.Obs
+	cfg.Solver.Scheme = opt.Scheme
+	cfg.EqCacheSize = opt.EqCacheSize
 	if opt.Quick {
 		cfg.Epochs = 1
 		cfg.StepsPerEpoch = 20

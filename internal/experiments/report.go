@@ -31,6 +31,14 @@ type Options struct {
 	// -metrics-addr and -trace-out flags through this field; results are
 	// unaffected.
 	Obs obs.Recorder
+	// Scheme selects the PDE time integrator for every equilibrium solve
+	// ("implicit" — the default — or "explicit"; see pde.SchemeNames). The
+	// CLI wires its -scheme flag through this field.
+	Scheme string
+	// EqCacheSize, when positive, bounds an equilibrium cache shared across
+	// the epochs of each market run (see sim.Config.EqCacheSize). The CLI
+	// wires its -eq-cache flag through this field.
+	EqCacheSize int
 }
 
 // DefaultOptions returns the options used when regenerating the paper's

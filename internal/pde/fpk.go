@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
-	"time"
 
 	"repro/internal/grid"
 	"repro/internal/numerics"
@@ -116,104 +115,97 @@ func (s *FPKSolution) Mass(n int) float64 {
 	return sum * s.Grid.CellArea()
 }
 
+// NewFPKSolution preallocates a solution holder (every time level of Lambda
+// gets its own field) so repeated solves on the same mesh can reuse it via
+// SolveFPKInto without allocating.
+func NewFPKSolution(g grid.Grid2D, tm grid.TimeMesh) *FPKSolution {
+	sol := &FPKSolution{
+		Grid:    g,
+		Time:    tm,
+		Lambda:  make([][]float64, tm.Steps+1),
+		RawMass: make([]float64, tm.Steps+1),
+	}
+	for n := range sol.Lambda {
+		sol.Lambda[n] = g.NewField()
+	}
+	return sol
+}
+
+// sized reports whether the solution holder matches the problem's grid and
+// time mesh.
+func (s *FPKSolution) sized(g grid.Grid2D, tm grid.TimeMesh) bool {
+	return s != nil && s.Grid == g && s.Time.Steps == tm.Steps &&
+		len(s.Lambda) == tm.Steps+1 && len(s.RawMass) == tm.Steps+1
+}
+
 // SolveFPK integrates the forward equation from the initial density λ0
 // (flattened over the grid) through the whole time mesh using Lie splitting
-// with one implicit tridiagonal sweep per dimension per step.
+// with one sweep per dimension per step (implicit tridiagonal by default).
 func SolveFPK(p *FPKProblem, lambda0 []float64) (*FPKSolution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	ws, err := NewWorkspace(p.Grid)
+	if err != nil {
+		return nil, err
+	}
+	sol := NewFPKSolution(p.Grid, p.Time)
+	if err := SolveFPKInto(ws, nil, p, lambda0, sol); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// SolveFPKInto is the allocation-free core of SolveFPK: it transports λ0
+// through the time mesh using the given scheme (nil derives one from
+// p.Stepping), reusing the workspace buffers and writing every time level
+// into the preallocated solution.
+func SolveFPKInto(ws *Workspace, sch Scheme, p *FPKProblem, lambda0 []float64, sol *FPKSolution) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if sch == nil {
+		var err error
+		if sch, err = SchemeFor(p.Stepping); err != nil {
+			return err
+		}
+	}
+	if sch.Stepping() == Explicit && p.Form != Conservative {
+		return errors.New("pde: SolveFPKInto: the explicit integrator supports the conservative form only")
+	}
 	g := p.Grid
 	if err := checkField("initial density", lambda0, g.Size()); err != nil {
-		return nil, err
+		return err
 	}
 	for _, v := range lambda0 {
 		if v < 0 || math.IsNaN(v) {
-			return nil, fmt.Errorf("pde: SolveFPK: initial density must be non-negative and finite, found %g", v)
+			return fmt.Errorf("pde: SolveFPK: initial density must be non-negative and finite, found %g", v)
 		}
+	}
+	if !ws.fits(g) {
+		return fmt.Errorf("pde: SolveFPKInto: workspace sized for %dx%d, problem grid is %dx%d",
+			ws.g.H.N, ws.g.Q.N, g.H.N, g.Q.N)
+	}
+	if !sol.sized(g, p.Time) {
+		return errors.New("pde: SolveFPKInto: solution holder does not match the problem mesh (use NewFPKSolution)")
 	}
 	nh, nq := g.H.N, g.Q.N
 	steps := p.Time.Steps
-	dt := p.Time.Dt()
 	cell := g.CellArea()
 
 	rec := obs.OrNop(p.Obs)
-	timed := rec.Enabled()
 	span := rec.Start("pde.fpk.solve")
 
-	sol := &FPKSolution{
-		Grid:    g,
-		Time:    p.Time,
-		Lambda:  make([][]float64, steps+1),
-		RawMass: make([]float64, steps+1),
-	}
-	cur := append([]float64(nil), lambda0...)
-	sol.Lambda[0] = cur
-	sol.RawMass[0] = mass(cur, cell)
-
-	swH := newSweeper(nh)
-	swQ := newSweeper(nq)
+	copy(sol.Lambda[0], lambda0)
+	sol.RawMass[0] = mass(sol.Lambda[0], cell)
 
 	for n := 0; n < steps; n++ {
 		t := p.Time.At(n)
-		next := g.NewField()
+		next := sol.Lambda[n+1]
 		copy(next, sol.Lambda[n])
 
-		// Sweep in h (stride nq) for every q-column.
-		var sweepStart time.Time
-		if timed {
-			sweepStart = time.Now()
-		}
-		for j := 0; j < nq; j++ {
-			gather(swH.rhs, next, j, nq, nh)
-			for i := 0; i < nh; i++ {
-				swH.b[i] = p.DriftH(t, g.H.At(i))
-			}
-			var err error
-			switch {
-			case p.Stepping == Explicit:
-				err = cflError(swH.explicitForwardConservative(dt, g.H.Step(), p.DiffH), steps)
-			case p.Form == Conservative:
-				err = swH.solveForwardConservative(dt, g.H.Step(), p.DiffH)
-			default:
-				err = swH.solveForwardAdvective(dt, g.H.Step(), p.DiffH)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("pde: FPK h-sweep at step %d, column %d: %w", n, j, err)
-			}
-			scatter(next, swH.sol, j, nq, nh)
-		}
-		rec.Add("pde.fpk.sweeps", float64(nq))
-		if timed {
-			rec.Observe("pde.fpk.sweep.h.seconds", time.Since(sweepStart).Seconds())
-			sweepStart = time.Now()
-		}
-
-		// Sweep in q (stride 1) for every h-row.
-		for i := 0; i < nh; i++ {
-			h := g.H.At(i)
-			start := i * nq
-			gather(swQ.rhs, next, start, 1, nq)
-			for j := 0; j < nq; j++ {
-				swQ.b[j] = p.DriftQ(t, h, g.Q.At(j))
-			}
-			var err error
-			switch {
-			case p.Stepping == Explicit:
-				err = cflError(swQ.explicitForwardConservative(dt, g.Q.Step(), p.DiffQ), steps)
-			case p.Form == Conservative:
-				err = swQ.solveForwardConservative(dt, g.Q.Step(), p.DiffQ)
-			default:
-				err = swQ.solveForwardAdvective(dt, g.Q.Step(), p.DiffQ)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("pde: FPK q-sweep at step %d, row %d: %w", n, i, err)
-			}
-			scatter(next, swQ.sol, start, 1, nq)
-		}
-		rec.Add("pde.fpk.sweeps", float64(nh))
-		if timed {
-			rec.Observe("pde.fpk.sweep.q.seconds", time.Since(sweepStart).Seconds())
+		if err := sch.StepForward(ws, p, t, next); err != nil {
+			return err
 		}
 
 		m := mass(next, cell)
@@ -231,13 +223,16 @@ func SolveFPK(p *FPKProblem, lambda0 []float64) (*FPKSolution, error) {
 				next[k] = 0
 			}
 		}
-		sol.Lambda[n+1] = next
 	}
 	rec.Add("pde.fpk.solves", 1)
 	rec.Add("pde.fpk.steps", float64(steps))
-	span.End(slog.Int("steps", steps), slog.Int("nh", nh), slog.Int("nq", nq),
-		slog.Float64("final_mass", sol.RawMass[steps]))
-	return sol, nil
+	if rec.Enabled() {
+		span.End(slog.Int("steps", steps), slog.Int("nh", nh), slog.Int("nq", nq),
+			slog.Float64("final_mass", sol.RawMass[steps]))
+	} else {
+		span.End()
+	}
+	return nil
 }
 
 func mass(field []float64, cell float64) float64 {

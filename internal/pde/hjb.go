@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"time"
 
 	"repro/internal/grid"
 	"repro/internal/numerics"
@@ -111,130 +110,132 @@ func (s *HJBSolution) timeIndex(t float64) int {
 	return n
 }
 
+// NewHJBSolution preallocates a solution holder (every time level of V and X
+// gets its own field) so repeated solves on the same mesh can reuse it via
+// SolveHJBInto without allocating.
+func NewHJBSolution(g grid.Grid2D, tm grid.TimeMesh) *HJBSolution {
+	sol := &HJBSolution{
+		Grid: g,
+		Time: tm,
+		V:    make([][]float64, tm.Steps+1),
+		X:    make([][]float64, tm.Steps+1),
+	}
+	for n := range sol.V {
+		sol.V[n] = g.NewField()
+		sol.X[n] = g.NewField()
+	}
+	return sol
+}
+
+// sized reports whether the solution holder matches the problem's grid and
+// time mesh.
+func (s *HJBSolution) sized(g grid.Grid2D, tm grid.TimeMesh) bool {
+	return s != nil && s.Grid == g && s.Time.Steps == tm.Steps &&
+		len(s.V) == tm.Steps+1 && len(s.X) == tm.Steps+1
+}
+
 // SolveHJB integrates the HJB equation backward from t = T to t = 0 with Lie
 // operator splitting: at each step the control is frozen at its closed-form
 // maximiser computed from ∂qV of the later time level, the running utility is
 // added explicitly, and the advection–diffusion operators in h and q are
-// applied implicitly (one tridiagonal solve per grid line each). The scheme
-// is unconditionally stable and monotone.
+// applied per the scheme selected by p.Stepping (implicitly by default: one
+// tridiagonal solve per grid line each, unconditionally stable and monotone).
 func SolveHJB(p *HJBProblem) (*HJBSolution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	ws, err := NewWorkspace(p.Grid)
+	if err != nil {
+		return nil, err
+	}
+	sol := NewHJBSolution(p.Grid, p.Time)
+	if err := SolveHJBInto(ws, nil, p, sol); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// SolveHJBInto is the allocation-free core of SolveHJB: it integrates the
+// problem backward through the time mesh using the given scheme (nil derives
+// one from p.Stepping), reusing the workspace buffers and writing every time
+// level into the preallocated solution. Steady-state callers (the engine
+// session) construct workspace and solution once and call this per
+// best-response iteration with zero heap allocations.
+func SolveHJBInto(ws *Workspace, sch Scheme, p *HJBProblem, sol *HJBSolution) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if sch == nil {
+		var err error
+		if sch, err = SchemeFor(p.Stepping); err != nil {
+			return err
+		}
+	}
 	g := p.Grid
+	if !ws.fits(g) {
+		return fmt.Errorf("pde: SolveHJBInto: workspace sized for %dx%d, problem grid is %dx%d",
+			ws.g.H.N, ws.g.Q.N, g.H.N, g.Q.N)
+	}
+	if !sol.sized(g, p.Time) {
+		return errors.New("pde: SolveHJBInto: solution holder does not match the problem mesh (use NewHJBSolution)")
+	}
 	nh, nq := g.H.N, g.Q.N
 	steps := p.Time.Steps
 	dt := p.Time.Dt()
 
 	rec := obs.OrNop(p.Obs)
-	timed := rec.Enabled()
 	span := rec.Start("pde.hjb.solve")
 
-	sol := &HJBSolution{
-		Grid: g,
-		Time: p.Time,
-		V:    make([][]float64, steps+1),
-		X:    make([][]float64, steps+1),
-	}
-
-	// Terminal condition.
-	vT := g.NewField()
-	if p.Terminal != nil {
-		for i := 0; i < nh; i++ {
-			for j := 0; j < nq; j++ {
+	// Terminal condition (the holder is reused, so always overwrite).
+	vT := sol.V[steps]
+	for i := 0; i < nh; i++ {
+		for j := 0; j < nq; j++ {
+			if p.Terminal != nil {
 				vT[g.Idx(i, j)] = p.Terminal(g.H.At(i), g.Q.At(j))
+			} else {
+				vT[g.Idx(i, j)] = 0
 			}
 		}
 	}
-	sol.V[steps] = vT
-
-	swH := newSweeper(nh)
-	swQ := newSweeper(nq)
-	grad := g.NewField()
-	work := g.NewField()
 
 	for n := steps - 1; n >= 0; n-- {
 		t := p.Time.At(n)
 		vNext := sol.V[n+1]
 
 		// 1. Closed-form control from ∂qV at the later time level.
-		if err := numerics.GradientQ(g, grad, vNext); err != nil {
-			return nil, err
+		if err := numerics.GradientQ(g, ws.grad, vNext); err != nil {
+			return err
 		}
-		x := g.NewField()
+		x := sol.X[n]
 		for i := 0; i < nh; i++ {
 			h := g.H.At(i)
 			for j := 0; j < nq; j++ {
 				idx := g.Idx(i, j)
-				x[idx] = numerics.Clamp01(p.Control(t, h, g.Q.At(j), grad[idx]))
+				x[idx] = numerics.Clamp01(p.Control(t, h, g.Q.At(j), ws.grad[idx]))
 			}
 		}
-		sol.X[n] = x
 
 		// 2. Explicit source: W = V^{n+1} + dt·U(t, x*, ·).
 		for i := 0; i < nh; i++ {
 			h := g.H.At(i)
 			for j := 0; j < nq; j++ {
 				idx := g.Idx(i, j)
-				work[idx] = vNext[idx] + dt*p.Running(t, x[idx], h, g.Q.At(j))
+				ws.work[idx] = vNext[idx] + dt*p.Running(t, x[idx], h, g.Q.At(j))
 			}
 		}
 
-		// 3. Sweep in h (stride nq) for every q-column.
-		var sweepStart time.Time
-		if timed {
-			sweepStart = time.Now()
+		// 3–4. Scheme-split sweeps in h (in place on work) then q (into V[n]).
+		if err := sch.StepBackward(ws, p, t, x, ws.work, sol.V[n]); err != nil {
+			return err
 		}
-		for j := 0; j < nq; j++ {
-			gather(swH.rhs, work, j, nq, nh)
-			for i := 0; i < nh; i++ {
-				swH.b[i] = p.DriftH(t, g.H.At(i))
-			}
-			var err error
-			if p.Stepping == Explicit {
-				err = cflError(swH.explicitBackwardValue(dt, g.H.Step(), p.DiffH), steps)
-			} else {
-				err = swH.solveBackwardValue(dt, g.H.Step(), p.DiffH)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("pde: HJB h-sweep at step %d, column %d: %w", n, j, err)
-			}
-			scatter(work, swH.sol, j, nq, nh)
-		}
-		rec.Add("pde.hjb.sweeps", float64(nq))
-		if timed {
-			rec.Observe("pde.hjb.sweep.h.seconds", time.Since(sweepStart).Seconds())
-			sweepStart = time.Now()
-		}
-
-		// 4. Sweep in q (stride 1) for every h-row.
-		vn := g.NewField()
-		for i := 0; i < nh; i++ {
-			start := i * nq
-			gather(swQ.rhs, work, start, 1, nq)
-			for j := 0; j < nq; j++ {
-				swQ.b[j] = p.DriftQ(t, x[start+j])
-			}
-			var err error
-			if p.Stepping == Explicit {
-				err = cflError(swQ.explicitBackwardValue(dt, g.Q.Step(), p.DiffQ), steps)
-			} else {
-				err = swQ.solveBackwardValue(dt, g.Q.Step(), p.DiffQ)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("pde: HJB q-sweep at step %d, row %d: %w", n, i, err)
-			}
-			scatter(vn, swQ.sol, start, 1, nq)
-		}
-		rec.Add("pde.hjb.sweeps", float64(nh))
-		if timed {
-			rec.Observe("pde.hjb.sweep.q.seconds", time.Since(sweepStart).Seconds())
-		}
-		sol.V[n] = vn
 	}
-	sol.X[steps] = sol.X[steps-1]
+	copy(sol.X[steps], sol.X[steps-1])
 	rec.Add("pde.hjb.solves", 1)
 	rec.Add("pde.hjb.steps", float64(steps))
-	span.End(slog.Int("steps", steps), slog.Int("nh", nh), slog.Int("nq", nq))
-	return sol, nil
+	if rec.Enabled() {
+		span.End(slog.Int("steps", steps), slog.Int("nh", nh), slog.Int("nq", nq))
+	} else {
+		span.End()
+	}
+	return nil
 }

@@ -1,0 +1,247 @@
+package pde
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// Workspace owns every reusable buffer the operator-split integrators need on
+// one grid resolution: the two tridiagonal sweepers (one per dimension) and
+// the gradient/source scratch fields. A Workspace is created once per solver
+// session and reused across time steps, best-response iterations and repeated
+// solves, so the steady-state iteration loop of the engine performs no heap
+// allocations. A Workspace is not safe for concurrent use; parallel solvers
+// hold one each.
+type Workspace struct {
+	g    grid.Grid2D
+	swH  *sweeper
+	swQ  *sweeper
+	grad []float64 // ∂qV estimate feeding the closed-form control
+	work []float64 // explicit-source scratch W = V^{n+1} + dt·U
+}
+
+// NewWorkspace validates the grid and allocates all sweep buffers for it.
+func NewWorkspace(g grid.Grid2D) (*Workspace, error) {
+	if err := g.H.Validate(); err != nil {
+		return nil, fmt.Errorf("pde: workspace H axis: %w", err)
+	}
+	if err := g.Q.Validate(); err != nil {
+		return nil, fmt.Errorf("pde: workspace Q axis: %w", err)
+	}
+	return &Workspace{
+		g:    g,
+		swH:  newSweeper(g.H.N),
+		swQ:  newSweeper(g.Q.N),
+		grad: g.NewField(),
+		work: g.NewField(),
+	}, nil
+}
+
+// Grid returns the grid the workspace was sized for.
+func (w *Workspace) Grid() grid.Grid2D { return w.g }
+
+// fits reports whether the workspace matches the given grid resolution.
+func (w *Workspace) fits(g grid.Grid2D) bool {
+	return w != nil && w.g.H.N == g.H.N && w.g.Q.N == g.Q.N
+}
+
+// Scheme is one time-integration scheme for the operator-split PDE updates:
+// it advances the backward (HJB) value field and the forward (FPK) density
+// field by one time step against a shared Workspace. The two built-in schemes
+// are the unconditionally stable implicit splitting (default) and the
+// CFL-bounded explicit integrator kept as an ablation; both are selected via
+// configuration (Config.Scheme / Config.Stepping) instead of separate entry
+// points.
+type Scheme interface {
+	// Name identifies the scheme in configs, CLI flags and cache keys.
+	Name() string
+	// Stepping returns the legacy Stepping constant the scheme corresponds to.
+	Stepping() Stepping
+	// StepBackward advances the backward value update one step at time t:
+	// src holds the explicit source W = V^{n+1} + dt·U(t, x*, ·) and is
+	// consumed as scratch; x is the frozen control field; the new value level
+	// lands in dst. src and dst must not alias.
+	StepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64) error
+	// StepForward transports the density field forward one step in place at
+	// time t.
+	StepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64) error
+}
+
+// backwardKernel / forwardKernel advance one 1-D sweep on a loaded sweeper
+// (rhs and b filled). steps is the time-step count, used by the explicit
+// kernels to phrase their CFL diagnostics.
+type backwardKernel func(s *sweeper, dt, dx, diff float64, steps int) error
+type forwardKernel func(s *sweeper, form FPKForm, dt, dx, diff float64, steps int) error
+
+func implicitBackward(s *sweeper, dt, dx, diff float64, _ int) error {
+	return s.solveBackwardValue(dt, dx, diff)
+}
+
+func explicitBackward(s *sweeper, dt, dx, diff float64, steps int) error {
+	return cflError(s.explicitBackwardValue(dt, dx, diff), steps)
+}
+
+func implicitForward(s *sweeper, form FPKForm, dt, dx, diff float64, _ int) error {
+	if form == Conservative {
+		return s.solveForwardConservative(dt, dx, diff)
+	}
+	return s.solveForwardAdvective(dt, dx, diff)
+}
+
+func explicitForward(s *sweeper, _ FPKForm, dt, dx, diff float64, steps int) error {
+	return cflError(s.explicitForwardConservative(dt, dx, diff), steps)
+}
+
+// stepBackward runs the Lie-split backward sweeps shared by every scheme:
+// first every q-column in h (stride nq, in place on src), then every h-row in
+// q (stride 1, src → dst), with the kernel deciding implicit vs explicit. It
+// emits the per-dimension "pde.hjb.sweeps" counters and sweep timings.
+func stepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64, kern backwardKernel) error {
+	g := p.Grid
+	nh, nq := g.H.N, g.Q.N
+	dt := p.Time.Dt()
+	rec := obs.OrNop(p.Obs)
+	timed := rec.Enabled()
+	var sweepStart time.Time
+	if timed {
+		sweepStart = time.Now()
+	}
+	for j := 0; j < nq; j++ {
+		gather(ws.swH.rhs, src, j, nq, nh)
+		for i := 0; i < nh; i++ {
+			ws.swH.b[i] = p.DriftH(t, g.H.At(i))
+		}
+		if err := kern(ws.swH, dt, g.H.Step(), p.DiffH, p.Time.Steps); err != nil {
+			return fmt.Errorf("pde: HJB h-sweep at t=%.4g, column %d: %w", t, j, err)
+		}
+		scatter(src, ws.swH.sol, j, nq, nh)
+	}
+	rec.Add("pde.hjb.sweeps", float64(nq))
+	if timed {
+		rec.Observe("pde.hjb.sweep.h.seconds", time.Since(sweepStart).Seconds())
+		sweepStart = time.Now()
+	}
+	for i := 0; i < nh; i++ {
+		start := i * nq
+		gather(ws.swQ.rhs, src, start, 1, nq)
+		for j := 0; j < nq; j++ {
+			ws.swQ.b[j] = p.DriftQ(t, x[start+j])
+		}
+		if err := kern(ws.swQ, dt, g.Q.Step(), p.DiffQ, p.Time.Steps); err != nil {
+			return fmt.Errorf("pde: HJB q-sweep at t=%.4g, row %d: %w", t, i, err)
+		}
+		scatter(dst, ws.swQ.sol, start, 1, nq)
+	}
+	rec.Add("pde.hjb.sweeps", float64(nh))
+	if timed {
+		rec.Observe("pde.hjb.sweep.q.seconds", time.Since(sweepStart).Seconds())
+	}
+	return nil
+}
+
+// stepForward runs the Lie-split forward sweeps shared by every scheme, in
+// place on lambda, emitting the per-dimension "pde.fpk.sweeps" counters and
+// sweep timings.
+func stepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64, kern forwardKernel) error {
+	g := p.Grid
+	nh, nq := g.H.N, g.Q.N
+	dt := p.Time.Dt()
+	rec := obs.OrNop(p.Obs)
+	timed := rec.Enabled()
+	var sweepStart time.Time
+	if timed {
+		sweepStart = time.Now()
+	}
+	for j := 0; j < nq; j++ {
+		gather(ws.swH.rhs, lambda, j, nq, nh)
+		for i := 0; i < nh; i++ {
+			ws.swH.b[i] = p.DriftH(t, g.H.At(i))
+		}
+		if err := kern(ws.swH, p.Form, dt, g.H.Step(), p.DiffH, p.Time.Steps); err != nil {
+			return fmt.Errorf("pde: FPK h-sweep at t=%.4g, column %d: %w", t, j, err)
+		}
+		scatter(lambda, ws.swH.sol, j, nq, nh)
+	}
+	rec.Add("pde.fpk.sweeps", float64(nq))
+	if timed {
+		rec.Observe("pde.fpk.sweep.h.seconds", time.Since(sweepStart).Seconds())
+		sweepStart = time.Now()
+	}
+	for i := 0; i < nh; i++ {
+		h := g.H.At(i)
+		start := i * nq
+		gather(ws.swQ.rhs, lambda, start, 1, nq)
+		for j := 0; j < nq; j++ {
+			ws.swQ.b[j] = p.DriftQ(t, h, g.Q.At(j))
+		}
+		if err := kern(ws.swQ, p.Form, dt, g.Q.Step(), p.DiffQ, p.Time.Steps); err != nil {
+			return fmt.Errorf("pde: FPK q-sweep at t=%.4g, row %d: %w", t, i, err)
+		}
+		scatter(lambda, ws.swQ.sol, start, 1, nq)
+	}
+	rec.Add("pde.fpk.sweeps", float64(nh))
+	if timed {
+		rec.Observe("pde.fpk.sweep.q.seconds", time.Since(sweepStart).Seconds())
+	}
+	return nil
+}
+
+// implicitScheme is the unconditionally stable operator-split backward-Euler
+// integrator: one tridiagonal solve per dimension per step.
+type implicitScheme struct{}
+
+func (implicitScheme) Name() string       { return "implicit" }
+func (implicitScheme) Stepping() Stepping { return Implicit }
+
+func (implicitScheme) StepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64) error {
+	return stepBackward(ws, p, t, x, src, dst, implicitBackward)
+}
+
+func (implicitScheme) StepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64) error {
+	return stepForward(ws, p, t, lambda, implicitForward)
+}
+
+// explicitScheme is the forward-Euler ablation: cheaper per step (no linear
+// solves) but subject to a CFL stability bound, verified on every sweep.
+type explicitScheme struct{}
+
+func (explicitScheme) Name() string       { return "explicit" }
+func (explicitScheme) Stepping() Stepping { return Explicit }
+
+func (explicitScheme) StepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64) error {
+	return stepBackward(ws, p, t, x, src, dst, explicitBackward)
+}
+
+func (explicitScheme) StepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64) error {
+	return stepForward(ws, p, t, lambda, explicitForward)
+}
+
+// SchemeFor maps a legacy Stepping constant onto its Scheme.
+func SchemeFor(s Stepping) (Scheme, error) {
+	switch s {
+	case Implicit:
+		return implicitScheme{}, nil
+	case Explicit:
+		return explicitScheme{}, nil
+	}
+	return nil, fmt.Errorf("pde: unknown stepping %d", int(s))
+}
+
+// SchemeByName resolves a scheme from its configuration / CLI name. The empty
+// name selects the implicit default.
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "", "implicit":
+		return implicitScheme{}, nil
+	case "explicit":
+		return explicitScheme{}, nil
+	}
+	return nil, fmt.Errorf("pde: unknown scheme %q (want %q or %q)", name, "implicit", "explicit")
+}
+
+// SchemeNames lists the selectable scheme names (for CLI help and validation
+// messages).
+func SchemeNames() []string { return []string{"implicit", "explicit"} }

@@ -1,0 +1,180 @@
+package pde
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func schemeTestGrid(t *testing.T) (grid.Grid2D, grid.TimeMesh) {
+	t.Helper()
+	hAxis, err := grid.NewAxis(1, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qAxis, err := grid.NewAxis(0, 100, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.NewGrid2D(hAxis, qAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many small steps: the explicit scheme needs the CFL bound satisfied,
+	// and the first-order-in-time schemes approach each other as dt → 0.
+	tm, err := grid.NewTimeMesh(1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tm
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range SchemeNames() {
+		sch, err := SchemeByName(name)
+		if err != nil {
+			t.Fatalf("SchemeByName(%q): %v", name, err)
+		}
+		if sch.Name() != name {
+			t.Errorf("SchemeByName(%q).Name() = %q", name, sch.Name())
+		}
+		if rt, err := SchemeFor(sch.Stepping()); err != nil || rt.Name() != name {
+			t.Errorf("SchemeFor(%v) round-trip = %v, %v", sch.Stepping(), rt, err)
+		}
+	}
+	if sch, err := SchemeByName(""); err != nil || sch.Name() != "implicit" {
+		t.Errorf("empty scheme name: got %v, %v, want the implicit default", sch, err)
+	}
+	if _, err := SchemeByName("runge-kutta-9000"); err == nil {
+		t.Errorf("unknown scheme name accepted")
+	}
+}
+
+// TestSchemeEquivalenceHJB solves one backward problem with the implicit and
+// explicit integrators on a fine time mesh: both are first-order consistent
+// discretisations of the same operator, so they must agree within the O(dt)
+// splitting tolerance.
+func TestSchemeEquivalenceHJB(t *testing.T) {
+	g, tm := schemeTestGrid(t)
+	mk := func(st Stepping) *HJBProblem {
+		return &HJBProblem{
+			Grid:     g,
+			Time:     tm,
+			DiffH:    0.05,
+			DiffQ:    0.4,
+			DriftH:   func(_, h float64) float64 { return 2 * (5 - h) },
+			DriftQ:   func(_, x float64) float64 { return -40 * x },
+			Control:  func(_, _, _, dVdq float64) float64 { return 0.5 - 0.01*dVdq },
+			Running:  func(_, x, h, q float64) float64 { return 2*h - 0.01*q - x*x },
+			Stepping: st,
+		}
+	}
+	imp, err := SolveHJB(mk(Implicit))
+	if err != nil {
+		t.Fatalf("implicit solve: %v", err)
+	}
+	exp, err := SolveHJB(mk(Explicit))
+	if err != nil {
+		t.Fatalf("explicit solve: %v", err)
+	}
+	var worstV, worstX, scale float64
+	for k := range imp.V[0] {
+		if d := math.Abs(imp.V[0][k] - exp.V[0][k]); d > worstV {
+			worstV = d
+		}
+		if a := math.Abs(imp.V[0][k]); a > scale {
+			scale = a
+		}
+		if d := math.Abs(imp.X[0][k] - exp.X[0][k]); d > worstX {
+			worstX = d
+		}
+	}
+	if worstV > 0.02*scale {
+		t.Errorf("implicit and explicit value functions diverge: |ΔV| = %g, scale %g", worstV, scale)
+	}
+	if worstX > 0.05 {
+		t.Errorf("implicit and explicit controls diverge: |Δx| = %g", worstX)
+	}
+}
+
+// TestSchemeEquivalenceFPK transports one density with both integrators and
+// compares the final-time field and its mass.
+func TestSchemeEquivalenceFPK(t *testing.T) {
+	g, tm := schemeTestGrid(t)
+	lambda0, err := GaussianDensity(g, 5, 1.5, 70, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(st Stepping) *FPKProblem {
+		return &FPKProblem{
+			Grid:        g,
+			Time:        tm,
+			DiffH:       0.05,
+			DiffQ:       0.4,
+			DriftH:      func(_, h float64) float64 { return 2 * (5 - h) },
+			DriftQ:      func(_, _, q float64) float64 { return -0.3 * q / 100 * 40 },
+			Form:        Conservative,
+			Stepping:    st,
+			Renormalize: true,
+		}
+	}
+	imp, err := SolveFPK(mk(Implicit), lambda0)
+	if err != nil {
+		t.Fatalf("implicit solve: %v", err)
+	}
+	exp, err := SolveFPK(mk(Explicit), lambda0)
+	if err != nil {
+		t.Fatalf("explicit solve: %v", err)
+	}
+	n := tm.Steps
+	var worst, peak float64
+	for k := range imp.Lambda[n] {
+		if d := math.Abs(imp.Lambda[n][k] - exp.Lambda[n][k]); d > worst {
+			worst = d
+		}
+		if imp.Lambda[n][k] > peak {
+			peak = imp.Lambda[n][k]
+		}
+	}
+	if worst > 0.05*peak {
+		t.Errorf("implicit and explicit densities diverge: |Δλ| = %g, peak %g", worst, peak)
+	}
+	if d := math.Abs(imp.Mass(n) - exp.Mass(n)); d > 1e-6 {
+		t.Errorf("final masses diverge by %g", d)
+	}
+}
+
+// TestSolveIntoRejectsMismatchedBuffers covers the defensive checks of the
+// preallocated entry points.
+func TestSolveIntoRejectsMismatchedBuffers(t *testing.T) {
+	g, tm := schemeTestGrid(t)
+	smallH, _ := grid.NewAxis(1, 10, 5)
+	smallQ, _ := grid.NewAxis(0, 100, 7)
+	gSmall, err := grid.NewGrid2D(smallH, smallQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsWrong, err := NewWorkspace(gSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &HJBProblem{
+		Grid:    g,
+		Time:    tm,
+		DriftH:  func(_, h float64) float64 { return -h },
+		DriftQ:  func(_, x float64) float64 { return -x },
+		Control: func(_, _, _, _ float64) float64 { return 0 },
+		Running: func(_, _, _, _ float64) float64 { return 0 },
+	}
+	if err := SolveHJBInto(wsWrong, nil, p, NewHJBSolution(g, tm)); err == nil {
+		t.Errorf("mismatched workspace accepted")
+	}
+	ws, err := NewWorkspace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SolveHJBInto(ws, nil, p, NewHJBSolution(gSmall, tm)); err == nil {
+		t.Errorf("mismatched solution holder accepted")
+	}
+}

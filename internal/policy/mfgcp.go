@@ -43,6 +43,13 @@ type MFGCP struct {
 	// CapacityPaths is the ensemble size used to estimate each content's
 	// utility value for the knapsack (default 16).
 	CapacityPaths int
+	// Cache, when set, stores solved equilibria keyed by the canonical
+	// (params, workload, grid) hash. Contents whose key hits skip the solve
+	// entirely; the equilibrium is unique (Theorem 2), so a cached fixed
+	// point answers regardless of how it was seeded. Install it with
+	// SetEquilibriumCache so the epoch loop can share one cache across
+	// policies and epochs.
+	Cache *core.EquilibriumCache
 
 	equilibria []*core.Equilibrium // per content; nil when not requested
 	admit      []float64           // knapsack admission fraction per content (nil = all 1)
@@ -65,6 +72,11 @@ func (p *MFGCP) Name() string {
 
 // SharingEnabled implements Policy.
 func (p *MFGCP) SharingEnabled() bool { return p.Share }
+
+// SetEquilibriumCache installs (or removes, with nil) the shared equilibrium
+// cache consulted by Prepare. The simulator plumbs its per-run cache through
+// this method.
+func (p *MFGCP) SetEquilibriumCache(c *core.EquilibriumCache) { p.Cache = c }
 
 // Prepare solves one equilibrium per content in the epoch's caching set
 // K' = {k : |I_k| > 0} (Algorithm 1 line 5).
@@ -107,48 +119,95 @@ func (p *MFGCP) Prepare(ctx *EpochContext) error {
 		return ws
 	}
 
+	// Sequential pre-pass in content order: resolve cache hits and coalesce
+	// contents whose canonical key coincides (identical workload this epoch),
+	// so the parallel stage solves each distinct equilibrium exactly once and
+	// the cache is consulted in the same order on every run.
+	type solveJob struct {
+		content int // lowest content index needing this solve
+		key     string
+		warm    *core.Equilibrium
+	}
+	var jobs []solveJob
+	pending := make(map[string]int) // key → index into jobs
+	alias := make(map[int]int)      // content → job index it shares
+	for k := 0; k < p.k; k++ {
+		if ctx.Workloads[k].Requests <= 0 {
+			continue // not in K': no demand this epoch
+		}
+		key := core.CacheKey(cfg, ctx.Workloads[k])
+		if p.Cache != nil {
+			if eq, ok := p.Cache.Get(cfg.Obs, key); ok {
+				p.equilibria[k] = eq
+				continue
+			}
+		}
+		if j, dup := pending[key]; dup {
+			alias[k] = j
+			continue
+		}
+		pending[key] = len(jobs)
+		jobs = append(jobs, solveJob{content: k, key: key, warm: warmFor(k)})
+	}
+
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > p.k {
-		workers = p.k
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	jobs := make(chan int)
-	errs := make([]error, p.k)
+	results := make([]*core.Equilibrium, len(jobs))
+	errs := make([]error, len(jobs))
+	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range jobs {
-				kcfg := cfg
-				kcfg.WarmStart = warmFor(k)
-				eq, err := core.Solve(kcfg, ctx.Workloads[k])
-				if err != nil {
-					if errors.Is(err, core.ErrNotConverged) && p.TolerateNonConvergence && eq != nil {
-						p.equilibria[k] = eq
-						continue
-					}
-					errs[k] = fmt.Errorf("policy: %s: content %d: %w", p.Name(), k, err)
+			// One pre-allocated engine session per worker: the grid,
+			// tridiagonal sweepers and value/density holders are reused
+			// across every solve the worker picks up.
+			s, err := core.NewSession(cfg)
+			if err != nil {
+				for j := range next {
+					errs[j] = fmt.Errorf("policy: %s: content %d: %w", p.Name(), jobs[j].content, err)
+				}
+				return
+			}
+			for j := range next {
+				job := jobs[j]
+				eq, err := s.Solve(ctx.Workloads[job.content], job.warm)
+				if err != nil && !(errors.Is(err, core.ErrNotConverged) && p.TolerateNonConvergence && eq != nil) {
+					errs[j] = fmt.Errorf("policy: %s: content %d: %w", p.Name(), job.content, err)
 					continue
 				}
-				p.equilibria[k] = eq
+				results[j] = eq
 			}
 		}()
 	}
-	for k := 0; k < p.k; k++ {
-		if ctx.Workloads[k].Requests <= 0 {
-			continue // not in K': no demand this epoch
-		}
-		jobs <- k
+	for j := range jobs {
+		next <- j
 	}
-	close(jobs)
+	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+
+	// Sequential post-pass in content order: results land in slots indexed
+	// by content, and fresh equilibria publish to the cache in job order, so
+	// the outcome is independent of goroutine completion order. Partial
+	// (non-converged but tolerated) equilibria are used for the epoch but not
+	// cached, so later epochs retry them from scratch.
+	for j, job := range jobs {
+		if errs[j] != nil {
+			return errs[j]
 		}
+		p.equilibria[job.content] = results[j]
+		if p.Cache != nil && results[j] != nil && results[j].Converged {
+			p.Cache.Put(cfg.Obs, job.key, results[j])
+		}
+	}
+	for k, j := range alias {
+		p.equilibria[k] = results[j]
 	}
 	return p.applyCapacity(ctx)
 }

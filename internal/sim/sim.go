@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"math/rand"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +61,14 @@ type Config struct {
 	// pairwise SINR with its actual neighbours (Eq. 2) instead of the
 	// mean-field interference approximation. Kept as an ablation.
 	ExactInterference bool
+
+	// EqCacheSize, when positive, installs a bounded equilibrium cache of
+	// that capacity on the policy (if it accepts one — see the
+	// equilibriumCaching interface) before the epoch loop. Epochs whose
+	// (params, workload) repeat then reuse the solved equilibrium instead of
+	// re-running Algorithm 2, which trace-driven demand with recurring daily
+	// shares hits often.
+	EqCacheSize int
 
 	// Area is the side length of the square deployment region.
 	Area float64
@@ -231,6 +240,15 @@ func Run(cfg Config) (*Result, error) {
 	rec := obs.OrNop(cfg.Obs)
 	if cfg.Solver.Obs == nil {
 		cfg.Solver.Obs = cfg.Obs
+	}
+	if cfg.EqCacheSize > 0 {
+		if ec, ok := cfg.Policy.(equilibriumCaching); ok {
+			cache, err := core.NewEquilibriumCache(cfg.EqCacheSize)
+			if err != nil {
+				return nil, err
+			}
+			ec.SetEquilibriumCache(cache)
+		}
 	}
 	p := cfg.Params
 	channel, err := mec.NewChannelModel(p)
@@ -512,9 +530,18 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// equilibriumCaching is implemented by policies that can consult a shared
+// equilibrium cache across epochs (policy.MFGCP). The simulator feature-tests
+// for it so cache plumbing stays optional for the baseline policies.
+type equilibriumCaching interface {
+	SetEquilibriumCache(*core.EquilibriumCache)
+}
+
 // peerIndex draws a uniformly random peer distinct from i (the paper assumes
 // the centre assigns a random qualified EDP to respond to sharing requests).
-func peerIndex(rng interface{ Intn(int) int }, m, i int) int {
+// It takes the concrete *rand.Rand every other sampling helper in this
+// package uses, so all randomness flows from the run's single seeded stream.
+func peerIndex(rng *rand.Rand, m, i int) int {
 	if m == 1 {
 		return i
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mec"
 	"repro/internal/numerics"
 	"repro/internal/policy"
+	"repro/internal/sde"
 	"repro/internal/trace"
 )
 
@@ -317,32 +318,26 @@ func TestMFGCPBeatsBaselinesInUtility(t *testing.T) {
 }
 
 func TestPeerIndexNeverSelf(t *testing.T) {
-	r := fixedIntn{vals: []int{0, 1, 2, 3, 4, 5}}
+	rng := sde.NewRNG(42)
 	for m := 2; m <= 5; m++ {
-		for trial := 0; trial < 6; trial++ {
-			j := peerIndex(&r, m, 1)
+		seen := make(map[int]bool)
+		for trial := 0; trial < 200; trial++ {
+			j := peerIndex(rng, m, 1)
 			if j == 1 {
 				t.Fatalf("peerIndex returned self for m=%d", m)
 			}
 			if j < 0 || j >= m {
 				t.Fatalf("peerIndex out of range: %d for m=%d", j, m)
 			}
+			seen[j] = true
+		}
+		if len(seen) != m-1 {
+			t.Errorf("m=%d: only %d of %d peers ever drawn", m, len(seen), m-1)
 		}
 	}
-	if got := peerIndex(&r, 1, 0); got != 0 {
+	if got := peerIndex(sde.NewRNG(1), 1, 0); got != 0 {
 		t.Errorf("single-EDP market should return self, got %d", got)
 	}
-}
-
-type fixedIntn struct {
-	vals []int
-	i    int
-}
-
-func (f *fixedIntn) Intn(n int) int {
-	v := f.vals[f.i%len(f.vals)] % n
-	f.i++
-	return v
 }
 
 func TestDefaultConfigValid(t *testing.T) {

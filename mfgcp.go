@@ -87,6 +87,18 @@ func OptimalControl(p Params, dVdq float64) float64 {
 	return core.OptimalControl(p, dVdq)
 }
 
+// EquilibriumCache is a bounded, concurrency-safe store of solved equilibria
+// keyed by the canonical (params, workload, grid, scheme) hash. Install one
+// on an MFG policy (policy.MFGCP.SetEquilibriumCache) or set
+// MarketConfig.EqCacheSize to let repeated epochs reuse fixed points.
+type EquilibriumCache = core.EquilibriumCache
+
+// NewEquilibriumCache returns an equilibrium cache bounded to capacity
+// entries with least-recently-used eviction.
+func NewEquilibriumCache(capacity int) (*EquilibriumCache, error) {
+	return core.NewEquilibriumCache(capacity)
+}
+
 // Policy is a per-epoch caching strategy (MFG-CP or a baseline).
 type Policy = policy.Policy
 
