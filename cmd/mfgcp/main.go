@@ -14,17 +14,27 @@
 //	-csv DIR            also write every table/series as CSV files into DIR
 //	-scheme NAME        PDE time integrator: implicit (default) or explicit
 //	-eq-cache N         equilibrium cache capacity for market runs (0 = off)
+//	-deadline D         abort after duration D (e.g. 10m); SIGINT/SIGTERM also
+//	                    cancel cleanly
 //	-log-level LEVEL    structured slog tracing (debug shows solver spans and
 //	                    per-iteration residuals)
 //	-metrics-addr ADDR  serve /metrics, /debug/vars and /debug/pprof
 //	-trace-out FILE     write a JSON telemetry snapshot to FILE
+//
+// `mfgcp market` additionally supports the resilience flags -checkpoint DIR
+// (atomic epoch-boundary snapshots), -resume (bit-for-bit restart from the
+// snapshot), -fault-plan SPEC (seeded fault injection) and -recover
+// (divergence-recovery ladder); see `mfgcp market -h`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -64,6 +74,7 @@ func run(args []string) (retErr error) {
 	csvDir := fs.String("csv", "", "write CSV artefacts into this directory")
 	scheme := fs.String("scheme", "", "PDE time integrator: implicit (default) or explicit")
 	eqCache := fs.Int("eq-cache", 0, "equilibrium cache capacity for market runs (0 = off)")
+	deadline := fs.Duration("deadline", 0, "abort the run after this duration (0 = none)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -77,12 +88,20 @@ func run(args []string) (retErr error) {
 			retErr = fmt.Errorf("telemetry: %w", ferr)
 		}
 	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	opt := experiments.Options{
 		Seed:        *seed,
 		Quick:       *quick,
 		Obs:         tel.Rec,
 		Scheme:      *scheme,
 		EqCacheSize: *eqCache,
+		Context:     ctx,
 	}
 
 	if cmd != "all" && !knownExperiment(cmd) {
@@ -147,8 +166,15 @@ flags:
   -csv DIR            also write CSV artefacts into DIR
   -scheme NAME        PDE time integrator: implicit (default) or explicit
   -eq-cache N         equilibrium cache capacity for market runs (0 = off)
+  -deadline D         abort after duration D; SIGINT/SIGTERM cancel cleanly
   -log-level LEVEL    structured slog tracing: debug, info, warn, error
   -metrics-addr ADDR  serve /metrics, /debug/vars and /debug/pprof on ADDR
   -trace-out FILE     write a JSON telemetry snapshot to FILE
+
+market resilience flags (see mfgcp market -h):
+  -checkpoint DIR     atomic epoch-boundary snapshots into DIR
+  -resume             bit-for-bit restart from the snapshot in -checkpoint
+  -fault-plan SPEC    seeded fault injection (churn=,drop=,solver=,seed=,budget=)
+  -recover            retry failing solves under the escalation ladder
 `)
 }

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	mfgcp "repro"
@@ -13,7 +19,10 @@ import (
 
 // marketCmd implements `mfgcp market`: one agent-based market run
 // (Algorithm 1) with the chosen policy and population, reporting per-epoch
-// statistics and the whole-run ledger.
+// statistics and the whole-run ledger. The resilience flags (-checkpoint,
+// -resume, -deadline, -fault-plan, -recover) make long runs interruptible,
+// restartable and fault-tolerant; SIGINT/SIGTERM flush the partial results
+// and exit cleanly, leaving a valid snapshot behind when -checkpoint is set.
 func marketCmd(args []string) (retErr error) {
 	fs := flag.NewFlagSet("market", flag.ContinueOnError)
 	policyName := fs.String("policy", "mfg-cp", "caching policy: mfg-cp, mfg, rr, mpc, udcs")
@@ -26,6 +35,12 @@ func marketCmd(args []string) (retErr error) {
 	exact := fs.Bool("exact-interference", false, "pairwise SINR instead of the mean-field rate")
 	scheme := fs.String("scheme", "", "PDE time integrator: implicit (default) or explicit")
 	eqCache := fs.Int("eq-cache", 0, "equilibrium cache capacity across epochs (0 = off)")
+	checkpoint := fs.String("checkpoint", "", "directory for atomic epoch-boundary snapshots (empty = off)")
+	ckEvery := fs.Int("checkpoint-every", 1, "snapshot after every N-th epoch")
+	resume := fs.Bool("resume", false, "resume from the snapshot in -checkpoint (fresh start if none)")
+	deadline := fs.Duration("deadline", 0, "abort the run after this duration, flushing partial results (0 = none)")
+	faultSpec := fs.String("fault-plan", "", "seeded fault injection, e.g. churn=0.1,drop=0.2,solver=0.1,seed=7,budget=3")
+	recovery := fs.Bool("recover", false, "retry diverged/non-converged solves under the escalation ladder")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +82,18 @@ func marketCmd(args []string) (retErr error) {
 	cfg.Solver.Scheme = *scheme
 	cfg.EqCacheSize = *eqCache
 	cfg.Obs = tel.Rec
+	cfg.Checkpoint = mfgcp.MarketCheckpointConfig{Dir: *checkpoint, Every: *ckEvery, Resume: *resume}
+	if *faultSpec != "" {
+		plan, err := parseFaultPlan(*faultSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
+	}
+	if *recovery {
+		ladder := mfgcp.DefaultRecoveryEscalation()
+		cfg.Recovery = &ladder
+	}
 	if *requesters > 0 {
 		cfg.Requesters = sim.RequesterConfig{
 			J:                    *requesters,
@@ -76,13 +103,29 @@ func marketCmd(args []string) (retErr error) {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
 	start := time.Now()
-	res, err := mfgcp.RunMarket(cfg)
-	if err != nil {
+	res, err := mfgcp.RunMarketContext(ctx, cfg)
+	interrupted := errors.Is(err, mfgcp.ErrMarketInterrupted)
+	if err != nil && !interrupted {
 		return err
 	}
-	fmt.Printf("%s: %d EDPs × %d contents × %d epochs in %.1fs (strategy time %v)\n",
-		pol.Name(), params.M, params.K, cfg.Epochs, time.Since(start).Seconds(),
+	if interrupted {
+		fmt.Printf("interrupted (%v); partial results follow", err)
+		if *checkpoint != "" {
+			fmt.Printf(" — resume with -checkpoint %s -resume", *checkpoint)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%s: %d EDPs × %d contents × %d/%d epochs in %.1fs (strategy time %v)\n",
+		pol.Name(), params.M, params.K, len(res.Stats), cfg.Epochs, time.Since(start).Seconds(),
 		res.StrategyTime.Round(time.Millisecond))
 
 	tab := metrics.NewTable("per-epoch statistics (population means)",
@@ -104,8 +147,61 @@ func marketCmd(args []string) (retErr error) {
 	if err := tab.Render(os.Stdout); err != nil {
 		return err
 	}
-	l := res.MeanLedger()
-	fmt.Printf("\nwhole-run ledger (population mean): utility %.1f = trading %.1f + sharing %.1f − placement %.1f − staleness %.1f − share cost %.1f\n",
-		res.MeanUtility(), l.Trading, l.Sharing, l.Placement, l.Staleness, l.ShareCost)
+	if len(res.Ledgers) > 0 {
+		l := res.MeanLedger()
+		fmt.Printf("\nwhole-run ledger (population mean): utility %.1f = trading %.1f + sharing %.1f − placement %.1f − staleness %.1f − share cost %.1f\n",
+			res.MeanUtility(), l.Trading, l.Sharing, l.Placement, l.Staleness, l.ShareCost)
+	}
 	return tel.summary("market")
+}
+
+// parseFaultPlan parses the -fault-plan specification: comma-separated
+// key=value pairs with keys churn, drop, solver (probabilities), seed and
+// budget (integers). Unset keys default to zero.
+func parseFaultPlan(spec string) (*sim.FaultPlan, error) {
+	plan := &sim.FaultPlan{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault plan: %q is not key=value", field)
+		}
+		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
+		switch key {
+		case "churn", "drop", "solver":
+			p, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault plan: %s: %w", key, err)
+			}
+			switch key {
+			case "churn":
+				plan.EDPChurn = p
+			case "drop":
+				plan.DropShare = p
+			case "solver":
+				plan.SolverFail = p
+			}
+		case "seed":
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault plan: seed: %w", err)
+			}
+			plan.Seed = n
+		case "budget":
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return nil, fmt.Errorf("fault plan: budget: %w", err)
+			}
+			plan.ErrorBudget = n
+		default:
+			return nil, fmt.Errorf("fault plan: unknown key %q (want churn, drop, solver, seed or budget)", key)
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
 }

@@ -53,9 +53,17 @@ type Session = engine.Session
 // engine.Cache.
 type EquilibriumCache = engine.Cache
 
+// CacheExportEntry is one exported cache entry in LRU order. See
+// engine.CacheExportEntry.
+type CacheExportEntry = engine.CacheExportEntry
+
 // ErrNotConverged is wrapped by Solve when the best-response iteration hits
 // MaxIters with a residual above Tol.
 var ErrNotConverged = engine.ErrNotConverged
+
+// ErrDiverged is wrapped by Solve when the best-response iteration produces a
+// non-finite or blown-up iterate. See engine.ErrDiverged.
+var ErrDiverged = engine.ErrDiverged
 
 // DefaultConfig returns the solver configuration used by the experiments.
 func DefaultConfig(p mec.Params) Config { return engine.DefaultConfig(p) }
@@ -79,6 +87,16 @@ func OptimalControl(p mec.Params, dVdq float64) float64 { return engine.OptimalC
 
 // ReadEquilibrium deserialises an equilibrium written by Equilibrium.WriteTo.
 func ReadEquilibrium(r io.Reader) (*Equilibrium, error) { return engine.ReadEquilibrium(r) }
+
+// MarshalEquilibrium serialises an equilibrium for checkpointing, pruning the
+// warm-start ancestry chain. See engine.MarshalEquilibrium.
+func MarshalEquilibrium(eq *Equilibrium) ([]byte, error) { return engine.MarshalEquilibrium(eq) }
+
+// UnmarshalEquilibrium deserialises an equilibrium written by
+// MarshalEquilibrium.
+func UnmarshalEquilibrium(data []byte) (*Equilibrium, error) {
+	return engine.UnmarshalEquilibrium(data)
+}
 
 // CacheKey builds the canonical equilibrium-cache key of (cfg, w). See
 // engine.CacheKey.

@@ -179,6 +179,36 @@ func (c *Cache) Put(rec obs.Recorder, key string, eq *Equilibrium) {
 	}
 }
 
+// CacheExportEntry is one (key, equilibrium) pair exported by Cache.Export.
+type CacheExportEntry struct {
+	Key string
+	Eq  *Equilibrium
+}
+
+// Export returns the cache contents ordered from least- to most-recently
+// used, so Restore on a fresh cache of the same capacity reproduces both the
+// entries and the LRU eviction order. The checkpoint layer persists these
+// across process restarts.
+func (c *Cache) Export() []CacheExportEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheExportEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, CacheExportEntry{Key: e.key, Eq: e.eq})
+	}
+	return out
+}
+
+// Restore inserts the exported entries in order (least recently used first),
+// rebuilding the LRU state captured by Export. Restoring does not touch the
+// hit/miss counters and records no metrics.
+func (c *Cache) Restore(entries []CacheExportEntry) {
+	for _, e := range entries {
+		c.Put(nil, e.Key, e.Eq)
+	}
+}
+
 // Len returns the number of stored equilibria.
 func (c *Cache) Len() int {
 	c.mu.Lock()

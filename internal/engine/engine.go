@@ -24,6 +24,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/grid"
 	"repro/internal/mec"
@@ -76,6 +77,13 @@ type Config struct {
 	// x ← (1−γ)·x_old + γ·x_new, which accelerates and robustifies the
 	// fixed-point iteration (γ=1 reproduces the undamped Algorithm 2).
 	Damping float64
+
+	// BlowupResidual is the strategy-residual threshold above which the
+	// best-response iteration is declared divergent and abandoned with
+	// ErrDiverged instead of burning the remaining iteration budget. Zero
+	// selects the default of 1e8; the caching rate lives in [0,1], so any
+	// genuine iterate keeps the residual at or below 1.
+	BlowupResidual float64
 
 	// FPKForm selects the forward-equation discretisation (conservative by
 	// default; pde.Advective reproduces the paper-literal Eq. 15).
@@ -145,11 +153,17 @@ func (c Config) Validate() error {
 	if c.MaxIters < 1 {
 		return fmt.Errorf("core: MaxIters must be ≥ 1, got %d", c.MaxIters)
 	}
-	if !(c.Tol > 0) {
-		return fmt.Errorf("core: Tol must be positive, got %g", c.Tol)
+	// NaN fails every comparison, so "residual < Tol" with Tol = NaN would
+	// never stop the iteration early and "residual < +Inf" would stop it
+	// immediately: both are configuration bugs, rejected here explicitly.
+	if math.IsNaN(c.Tol) || math.IsInf(c.Tol, 0) || !(c.Tol > 0) {
+		return fmt.Errorf("core: Tol must be positive and finite, got %g", c.Tol)
 	}
-	if !(c.Damping > 0 && c.Damping <= 1) {
+	if math.IsNaN(c.Damping) || !(c.Damping > 0 && c.Damping <= 1) {
 		return fmt.Errorf("core: Damping must lie in (0,1], got %g", c.Damping)
+	}
+	if math.IsNaN(c.BlowupResidual) || math.IsInf(c.BlowupResidual, 0) || c.BlowupResidual < 0 {
+		return fmt.Errorf("core: BlowupResidual must be non-negative and finite, got %g", c.BlowupResidual)
 	}
 	if _, err := c.scheme(); err != nil {
 		return err
@@ -190,6 +204,13 @@ type Equilibrium struct {
 // MaxIters with a residual above Tol. The partially converged equilibrium is
 // still returned alongside it so callers can inspect diagnostics.
 var ErrNotConverged = errors.New("core: best-response iteration did not converge")
+
+// ErrDiverged is wrapped by Solve when the best-response iteration produces a
+// non-finite iterate (NaN/Inf residual or density) or blows past
+// Config.BlowupResidual. Unlike ErrNotConverged, the iterates are numerically
+// meaningless, so no partial equilibrium accompanies it; callers recover by
+// escalating the solve configuration (see internal/resilience).
+var ErrDiverged = errors.New("core: best-response iteration diverged")
 
 // SnapshotAt returns the estimator snapshot nearest to time t.
 func (eq *Equilibrium) SnapshotAt(t float64) Snapshot {

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mec"
+)
+
+// TestValidateRejectsNonFinite pins the configuration hardening: NaN and
+// infinite tolerances, damping factors and blow-up thresholds must be rejected
+// at Validate time. NaN fails every comparison, so a NaN Tol would make
+// "residual < Tol" permanently false (the solve burns its whole iteration
+// budget), while Tol = +Inf converges instantly to garbage — neither may pass.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	base := DefaultConfig(mec.Default())
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"NaN Tol", func(c *Config) { c.Tol = math.NaN() }},
+		{"+Inf Tol", func(c *Config) { c.Tol = math.Inf(1) }},
+		{"zero Tol", func(c *Config) { c.Tol = 0 }},
+		{"negative Tol", func(c *Config) { c.Tol = -1e-6 }},
+		{"NaN Damping", func(c *Config) { c.Damping = math.NaN() }},
+		{"zero Damping", func(c *Config) { c.Damping = 0 }},
+		{"Damping above 1", func(c *Config) { c.Damping = 1.5 }},
+		{"NaN BlowupResidual", func(c *Config) { c.BlowupResidual = math.NaN() }},
+		{"+Inf BlowupResidual", func(c *Config) { c.BlowupResidual = math.Inf(1) }},
+		{"negative BlowupResidual", func(c *Config) { c.BlowupResidual = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("Validate rejected the default config: %v", err)
+	}
+}
+
+// TestSolveContextCanceled verifies a solve under an already-cancelled context
+// aborts promptly with the context error instead of running to completion.
+func TestSolveContextCanceled(t *testing.T) {
+	cfg, w := smallConfig()
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveContext(ctx, w, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveContext under cancelled context: got %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveDivergenceDetection forces the blow-up guard by setting the
+// threshold below the first residual: the solve must fail fast with
+// ErrDiverged instead of iterating on a non-finite or runaway iterate.
+func TestSolveDivergenceDetection(t *testing.T) {
+	cfg, w := smallConfig()
+	cfg.BlowupResidual = 1e-300 // every residual exceeds this
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	eq, err := s.Solve(w, nil)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Solve with tiny blow-up threshold: got %v, want ErrDiverged", err)
+	}
+	if eq != nil {
+		t.Fatalf("diverged solve returned an equilibrium")
+	}
+}
+
+// TestCacheExportRestore round-trips a populated cache through Export/Restore
+// and checks the LRU order survives: the restored cache must evict in the same
+// order as the original would have.
+func TestCacheExportRestore(t *testing.T) {
+	cfg, w := smallConfig()
+	eq, err := Solve(cfg, w)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	src, err := NewCache(3)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	src.Put(nil, "a", eq)
+	src.Put(nil, "b", eq)
+	src.Put(nil, "c", eq)
+	if _, ok := src.Get(nil, "a"); !ok { // touch "a": LRU order is now b, c, a
+		t.Fatal("missing key a")
+	}
+
+	exported := src.Export()
+	if len(exported) != 3 {
+		t.Fatalf("Export returned %d entries, want 3", len(exported))
+	}
+	wantOrder := []string{"b", "c", "a"} // LRU first
+	for i, e := range exported {
+		if e.Key != wantOrder[i] {
+			t.Fatalf("export order[%d] = %q, want %q", i, e.Key, wantOrder[i])
+		}
+	}
+
+	dst, err := NewCache(3)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	dst.Restore(exported)
+	if dst.Len() != 3 {
+		t.Fatalf("restored cache has %d entries, want 3", dst.Len())
+	}
+	// One more insert must evict the LRU entry "b", proving order survived.
+	dst.Put(nil, "d", eq)
+	if _, ok := dst.Get(nil, "b"); ok {
+		t.Fatal("LRU entry b survived the capacity eviction: restore lost the order")
+	}
+	for _, k := range []string{"c", "a", "d"} {
+		if _, ok := dst.Get(nil, k); !ok {
+			t.Fatalf("restored cache missing key %q", k)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -64,6 +65,32 @@ func ReadEquilibrium(r io.Reader) (*Equilibrium, error) {
 		return nil, fmt.Errorf("core: equilibrium archive is missing solver outputs")
 	}
 	return arch.Eq, nil
+}
+
+// MarshalEquilibrium serialises eq for checkpointing. Unlike WriteTo it also
+// prunes the warm-start ancestry: every solve records the equilibrium it was
+// seeded from in Config.WarmStart, so epoch-over-epoch warm starting grows an
+// unbounded chain that would bloat snapshots without influencing any later
+// computation (warm starts only read the strategy and density paths of the
+// equilibrium itself, never its ancestor's).
+func MarshalEquilibrium(eq *Equilibrium) ([]byte, error) {
+	if eq == nil {
+		return nil, fmt.Errorf("core: marshal nil equilibrium")
+	}
+	clean := *eq
+	clean.Config.Obs = nil
+	clean.Config.WarmStart = nil
+	var buf bytes.Buffer
+	if _, err := clean.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalEquilibrium deserialises an equilibrium written by
+// MarshalEquilibrium (or WriteTo).
+func UnmarshalEquilibrium(data []byte) (*Equilibrium, error) {
+	return ReadEquilibrium(bytes.NewReader(data))
 }
 
 type countingWriter struct {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math"
@@ -329,11 +330,28 @@ func copyPath(src [][]float64) [][]float64 {
 // (Theorem 2). A nil warm falls back to the session config's WarmStart. On
 // non-convergence the partial equilibrium is returned with ErrNotConverged.
 func (s *Session) Solve(w Workload, warm *Equilibrium) (*Equilibrium, error) {
+	return s.SolveContext(context.Background(), w, warm)
+}
+
+// SolveContext is Solve under a context: the best-response loop checks ctx at
+// iteration granularity and returns ctx's error (wrapped) as soon as the
+// deadline passes or the run is cancelled, leaving the session reusable. It
+// additionally guards every iteration against divergence: a NaN/Inf residual
+// or one above Config.BlowupResidual abandons the solve with ErrDiverged
+// instead of burning the remaining iteration budget on garbage iterates.
+func (s *Session) SolveContext(ctx context.Context, w Workload, warm *Equilibrium) (*Equilibrium, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if warm == nil {
 		warm = s.cfg.WarmStart
 	}
 	if err := s.begin(w, warm); err != nil {
 		return nil, err
+	}
+	blowup := s.cfg.BlowupResidual
+	if blowup == 0 {
+		blowup = defaultBlowupResidual
 	}
 
 	rec := obs.OrNop(s.cfg.Obs)
@@ -347,9 +365,25 @@ func (s *Session) Solve(w Workload, warm *Equilibrium) (*Equilibrium, error) {
 
 	converged := false
 	for iter := 1; iter <= s.cfg.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			s.solves++
+			solveSpan.End(slog.Int("iterations", iter-1), slog.String("stop_reason", "canceled"))
+			return nil, fmt.Errorf("core: solve canceled at iteration %d: %w", iter, err)
+		}
 		residual, err := s.iterate(iter)
 		if err != nil {
 			return nil, err
+		}
+		if math.IsNaN(residual) || math.IsInf(residual, 0) || residual > blowup {
+			s.solves++
+			rec.Add("resilience.nonfinite", 1)
+			rec.Add("core.solver.diverged", 1)
+			solveSpan.End(
+				slog.Int("iterations", iter),
+				slog.Float64("residual", residual),
+				slog.String("stop_reason", "diverged"))
+			return nil, fmt.Errorf("%w: residual %g at iteration %d (blow-up threshold %g)",
+				ErrDiverged, residual, iter, blowup)
 		}
 		s.residuals = append(s.residuals, residual)
 		converged = residual < s.cfg.Tol
@@ -398,6 +432,11 @@ func (s *Session) Solve(w Workload, warm *Equilibrium) (*Equilibrium, error) {
 	}
 	return eq, nil
 }
+
+// defaultBlowupResidual bounds the strategy residual when Config leaves
+// BlowupResidual at zero. The caching rate is confined to [0,1], so a residual
+// beyond this is unambiguously a numerical blow-up.
+const defaultBlowupResidual = 1e8
 
 // Solve runs one equilibrium computation with a throwaway session. It is the
 // compatibility path behind core.Solve; sustained callers (the policy layer,

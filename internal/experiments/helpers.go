@@ -78,6 +78,7 @@ func marketConfig(p mec.Params, pol policy.Policy, opt Options) sim.Config {
 	cfg.Solver.Obs = opt.Obs
 	cfg.Solver.Scheme = opt.Scheme
 	cfg.EqCacheSize = opt.EqCacheSize
+	cfg.Context = opt.Context
 	if opt.Quick {
 		cfg.Epochs = 1
 		cfg.StepsPerEpoch = 20

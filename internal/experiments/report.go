@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -39,6 +40,11 @@ type Options struct {
 	// the epochs of each market run (see sim.Config.EqCacheSize). The CLI
 	// wires its -eq-cache flag through this field.
 	EqCacheSize int
+	// Context, when set, bounds the whole experiment with cancellation or a
+	// deadline: the market epoch loops and equilibrium solves abort promptly
+	// when it fires. The CLI wires its -deadline flag and SIGINT handler
+	// through this field. Nil means context.Background().
+	Context context.Context
 }
 
 // DefaultOptions returns the options used when regenerating the paper's
@@ -177,6 +183,11 @@ func Run(id string, opt Options) (*Report, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	if opt.Context != nil {
+		if err := opt.Context.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: %s not started: %w", id, err)
+		}
 	}
 	rec := obs.OrNop(opt.Obs)
 	span := rec.Start("experiment." + id)

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/resilience"
 )
 
 // MFGCP is the proposed framework: one mean-field equilibrium per requested
@@ -50,6 +53,11 @@ type MFGCP struct {
 	// SetEquilibriumCache so the epoch loop can share one cache across
 	// policies and epochs.
 	Cache *core.EquilibriumCache
+	// Recovery, when set, retries diverged or non-converged solves under the
+	// bounded escalation ladder (deeper damping → scheme switch → time-mesh
+	// refinement) before giving up on the epoch. Install it with SetRecovery
+	// so the epoch loop can configure resilience uniformly.
+	Recovery *resilience.Escalation
 
 	equilibria []*core.Equilibrium // per content; nil when not requested
 	admit      []float64           // knapsack admission fraction per content (nil = all 1)
@@ -77,6 +85,11 @@ func (p *MFGCP) SharingEnabled() bool { return p.Share }
 // cache consulted by Prepare. The simulator plumbs its per-run cache through
 // this method.
 func (p *MFGCP) SetEquilibriumCache(c *core.EquilibriumCache) { p.Cache = c }
+
+// SetRecovery installs (or removes, with nil) the divergence-recovery ladder
+// applied to failing solves. The simulator plumbs its configured escalation
+// through this method.
+func (p *MFGCP) SetRecovery(e *resilience.Escalation) { p.Recovery = e }
 
 // Prepare solves one equilibrium per content in the epoch's caching set
 // K' = {k : |I_k| > 0} (Algorithm 1 line 5).
@@ -160,6 +173,7 @@ func (p *MFGCP) Prepare(ctx *EpochContext) error {
 	results := make([]*core.Equilibrium, len(jobs))
 	errs := make([]error, len(jobs))
 	next := make(chan int)
+	cctx := ctx.Context()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -177,7 +191,15 @@ func (p *MFGCP) Prepare(ctx *EpochContext) error {
 			}
 			for j := range next {
 				job := jobs[j]
-				eq, err := s.Solve(ctx.Workloads[job.content], job.warm)
+				var eq *core.Equilibrium
+				var err error
+				if p.Recovery != nil {
+					// The recovery ladder reuses the worker's session for the
+					// first attempt and escalates on throwaway sessions.
+					eq, err = p.Recovery.Solve(cctx, s, cfg, ctx.Workloads[job.content], job.warm)
+				} else {
+					eq, err = s.SolveContext(cctx, ctx.Workloads[job.content], job.warm)
+				}
 				if err != nil && !(errors.Is(err, core.ErrNotConverged) && p.TolerateNonConvergence && eq != nil) {
 					errs[j] = fmt.Errorf("policy: %s: content %d: %w", p.Name(), job.content, err)
 					continue
@@ -280,6 +302,70 @@ func (p *MFGCP) Equilibrium(k int) (*core.Equilibrium, error) {
 		return nil, err
 	}
 	return p.equilibria[k], nil
+}
+
+// mfgcpState is the serialised Prepare outcome carried across process
+// restarts: without it a resumed run would lose the previous epoch's
+// equilibria and re-converge from cold, breaking bit-for-bit resume parity
+// (warm starts change the iteration path, and iterates below Tol still differ
+// in the last bits).
+type mfgcpState struct {
+	K        int
+	Admit    []float64
+	Contents []int    // content indices with a solved equilibrium
+	Blobs    [][]byte // parallel to Contents, engine gob archives
+}
+
+// CheckpointState serialises the policy's prepared strategy (the per-content
+// equilibria and knapsack admissions) for the simulator's epoch checkpoints.
+func (p *MFGCP) CheckpointState() ([]byte, error) {
+	st := mfgcpState{K: p.k, Admit: append([]float64(nil), p.admit...)}
+	for k, eq := range p.equilibria {
+		if eq == nil {
+			continue
+		}
+		blob, err := core.MarshalEquilibrium(eq)
+		if err != nil {
+			return nil, fmt.Errorf("policy: %s: checkpoint content %d: %w", p.Name(), k, err)
+		}
+		st.Contents = append(st.Contents, k)
+		st.Blobs = append(st.Blobs, blob)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("policy: %s: encode checkpoint state: %w", p.Name(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState rebuilds the prepared strategy from a CheckpointState payload.
+func (p *MFGCP) RestoreState(data []byte) error {
+	var st mfgcpState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("policy: %s: decode checkpoint state: %w", p.Name(), err)
+	}
+	if st.K < 0 || len(st.Contents) != len(st.Blobs) {
+		return fmt.Errorf("policy: %s: malformed checkpoint state (k=%d, %d contents, %d blobs)",
+			p.Name(), st.K, len(st.Contents), len(st.Blobs))
+	}
+	equilibria := make([]*core.Equilibrium, st.K)
+	for i, k := range st.Contents {
+		if k < 0 || k >= st.K {
+			return fmt.Errorf("policy: %s: checkpoint content %d out of range [0,%d)", p.Name(), k, st.K)
+		}
+		eq, err := core.UnmarshalEquilibrium(st.Blobs[i])
+		if err != nil {
+			return fmt.Errorf("policy: %s: restore content %d: %w", p.Name(), k, err)
+		}
+		equilibria[k] = eq
+	}
+	p.k = st.K
+	p.equilibria = equilibria
+	p.admit = nil
+	if len(st.Admit) > 0 {
+		p.admit = st.Admit
+	}
+	return nil
 }
 
 // relDiff is the relative difference |a−b| / max(|a|, |b|, ε).

@@ -7,6 +7,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -26,6 +27,19 @@ type EpochContext struct {
 	Epoch     int
 	Seed      int64
 	M         int // number of EDPs whose strategies must be determined
+
+	// Ctx optionally bounds the strategy determination: MFG policies check
+	// it at best-response-iteration granularity and abort Prepare promptly on
+	// cancellation or deadline. Nil means context.Background().
+	Ctx context.Context
+}
+
+// Context returns the epoch's cancellation context, never nil.
+func (c *EpochContext) Context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // Validate checks the context.

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+// cancelAfter is a Recorder that cancels a context once a named counter
+// reaches a threshold — the test's deterministic stand-in for a mid-run kill.
+type cancelAfter struct {
+	obs.Recorder
+	name   string
+	after  float64
+	seen   float64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Add(name string, delta float64) {
+	c.Recorder.Add(name, delta)
+	if name == c.name {
+		c.seen += delta
+		if c.seen >= c.after {
+			c.cancel()
+		}
+	}
+}
+
+// assertSameResult compares everything a resumed run must reproduce
+// bit-for-bit. StrategyTime (and the Stats copy of it) is wall clock and is
+// deliberately excluded.
+func assertSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if got.PolicyName != want.PolicyName || got.M != want.M || got.Epochs != want.Epochs {
+		t.Fatalf("metadata differs: %+v vs %+v", got, want)
+	}
+	if len(got.Ledgers) != len(want.Ledgers) {
+		t.Fatalf("ledger count %d vs %d", len(got.Ledgers), len(want.Ledgers))
+	}
+	for i := range want.Ledgers {
+		if got.Ledgers[i] != want.Ledgers[i] {
+			t.Fatalf("ledger %d differs:\n got %+v\nwant %+v", i, got.Ledgers[i], want.Ledgers[i])
+		}
+	}
+	if len(got.Stats) != len(want.Stats) {
+		t.Fatalf("stats count %d vs %d", len(got.Stats), len(want.Stats))
+	}
+	for e := range want.Stats {
+		a, b := got.Stats[e], want.Stats[e]
+		a.StrategyTime, b.StrategyTime = 0, 0
+		if a != b {
+			t.Fatalf("epoch %d stats differ:\n got %+v\nwant %+v", e, a, b)
+		}
+	}
+	for i := range want.FinalQ {
+		for k := range want.FinalQ[i] {
+			if got.FinalQ[i][k] != want.FinalQ[i][k] {
+				t.Fatalf("FinalQ[%d][%d]: %g vs %g", i, k, got.FinalQ[i][k], want.FinalQ[i][k])
+			}
+		}
+		if got.FinalH[i] != want.FinalH[i] {
+			t.Fatalf("FinalH[%d]: %g vs %g", i, got.FinalH[i], want.FinalH[i])
+		}
+	}
+}
+
+func resumableConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := quickConfig(t, policy.NewMFGCP())
+	cfg.Epochs = 3
+	cfg.EqCacheSize = 8
+	cfg.Requesters = RequesterConfig{J: 10, Speed: 3, RequestsPerRequester: 6, TimelinessNoise: 0.3}
+	return cfg
+}
+
+// TestCheckpointResumeBitForBit is the acceptance test of the resilience
+// layer: a run killed after its first epoch-boundary snapshot and then resumed
+// must produce a final Result — utilities, densities, ledgers — identical to
+// an uninterrupted run of the same seed.
+func TestCheckpointResumeBitForBit(t *testing.T) {
+	baseline, err := Run(resumableConfig(t))
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	dir := t.TempDir()
+
+	// Phase 1: run with checkpointing, "killed" right after the first
+	// epoch-boundary snapshot lands on disk.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killed := resumableConfig(t)
+	killed.Checkpoint = CheckpointConfig{Dir: dir}
+	killed.Obs = &cancelAfter{Recorder: obs.Nop, name: "sim.checkpoint.writes", after: 1, cancel: cancel}
+	partial, err := RunContext(ctx, killed)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("killed run: got %v, want ErrInterrupted", err)
+	}
+	if partial == nil || len(partial.Stats) == 0 || len(partial.Stats) >= killed.Epochs {
+		t.Fatalf("killed run returned no usable partial result: %+v", partial)
+	}
+	ck, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("snapshot after kill: %v", err)
+	}
+	if ck.NextEpoch < 1 || ck.NextEpoch >= killed.Epochs {
+		t.Fatalf("snapshot NextEpoch = %d, want mid-run", ck.NextEpoch)
+	}
+
+	// Phase 2: resume on a fresh policy instance and run to completion.
+	resumed := resumableConfig(t)
+	resumed.Checkpoint = CheckpointConfig{Dir: dir, Resume: true}
+	reg := obs.NewRegistry(nil)
+	resumed.Obs = reg
+	full, err := Run(resumed)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if reg.Snapshot().Counters["sim.checkpoint.resumes"] != 1 {
+		t.Fatal("resume did not restore from the snapshot")
+	}
+	assertSameResult(t, baseline, full)
+}
+
+// TestCheckpointResumeFreshStart checks Resume against an empty directory
+// starts a normal run instead of failing — the ergonomics that let the CLI
+// pass -resume unconditionally.
+func TestCheckpointResumeFreshStart(t *testing.T) {
+	cfg := quickConfig(t, policy.NewMFGCP())
+	cfg.Checkpoint = CheckpointConfig{Dir: t.TempDir(), Resume: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("resume-from-nothing run: %v", err)
+	}
+	if len(res.Stats) != cfg.Epochs {
+		t.Fatalf("run incomplete: %d epochs", len(res.Stats))
+	}
+}
+
+// TestCheckpointResumeCompletedRun checks resuming a finished run returns the
+// final state immediately without re-executing epochs.
+func TestCheckpointResumeCompletedRun(t *testing.T) {
+	dir := t.TempDir()
+	cfg := resumableConfig(t)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	again := resumableConfig(t)
+	again.Checkpoint = CheckpointConfig{Dir: dir, Resume: true}
+	reg := obs.NewRegistry(nil)
+	again.Obs = reg
+	got, err := Run(again)
+	if err != nil {
+		t.Fatalf("resumed completed run: %v", err)
+	}
+	if reg.Snapshot().Counters["sim.epochs"] != 0 {
+		t.Fatal("completed run re-executed epochs on resume")
+	}
+	assertSameResult(t, want, got)
+}
+
+// TestCheckpointMismatchRejected checks a snapshot from a different run
+// configuration fails resume with ErrCheckpointMismatch instead of silently
+// producing a chimera run.
+func TestCheckpointMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickConfig(t, policy.NewMFGCP())
+	cfg.Checkpoint = CheckpointConfig{Dir: dir}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+
+	other := quickConfig(t, policy.NewMFGCP())
+	other.Seed = cfg.Seed + 1
+	other.Checkpoint = CheckpointConfig{Dir: dir, Resume: true}
+	if _, err := Run(other); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("got %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestCheckpointCorruptionDetected checks a truncated snapshot file surfaces
+// as ErrCheckpointCorrupt — never a panic, never a silent fresh start.
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickConfig(t, policy.NewMFGCP())
+	cfg.Checkpoint = CheckpointConfig{Dir: dir}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	path := filepath.Join(dir, checkpointFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("truncated snapshot: got %v, want ErrCheckpointCorrupt", err)
+	}
+
+	cfg2 := quickConfig(t, policy.NewMFGCP())
+	cfg2.Checkpoint = CheckpointConfig{Dir: dir, Resume: true}
+	if _, err := Run(cfg2); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("resume from truncated snapshot: got %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestInterruptWithoutCheckpoint checks cancellation without a checkpoint
+// directory still flushes the partial result.
+func TestInterruptWithoutCheckpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := quickConfig(t, policy.NewMFGCP())
+	res, err := RunContext(ctx, cfg)
+	if !errors.Is(err, ErrInterrupted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want ErrInterrupted wrapping context.Canceled", err)
+	}
+	if res == nil || len(res.FinalQ) != cfg.Params.M {
+		t.Fatal("interrupted run did not flush a partial result")
+	}
+	if _, err := LoadCheckpoint(t.TempDir()); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("empty dir: got %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestValidateRejectsNonFinite covers the NaN/Inf hardening of the simulation
+// and requester configurations.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"NaN RequestsPerEDP", func(c *Config) { c.RequestsPerEDP = nan }},
+		{"NaN Area", func(c *Config) { c.Area = nan }},
+		{"zero Area", func(c *Config) { c.Area = 0 }},
+		{"NaN requester speed", func(c *Config) { c.Requesters = RequesterConfig{J: 2, Speed: nan} }},
+		{"NaN requests per requester", func(c *Config) {
+			c.Requesters = RequesterConfig{J: 2, RequestsPerRequester: nan}
+		}},
+		{"NaN timeliness noise", func(c *Config) {
+			c.Requesters = RequesterConfig{J: 2, TimelinessNoise: nan}
+		}},
+		{"NaN fault probability", func(c *Config) { c.Faults = &FaultPlan{EDPChurn: nan} }},
+		{"fault probability above 1", func(c *Config) { c.Faults = &FaultPlan{DropShare: 1.5} }},
+		{"negative checkpoint interval", func(c *Config) { c.Checkpoint.Every = -1 }},
+		{"resume without dir", func(c *Config) { c.Checkpoint.Resume = true }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := quickConfig(t, policy.NewMFGCP())
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}

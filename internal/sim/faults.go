@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sde"
+)
+
+// ErrBudgetExceeded fails a fault-injected run whose number of degraded
+// epochs exceeded FaultPlan.ErrorBudget.
+var ErrBudgetExceeded = errors.New("sim: fault error budget exceeded")
+
+// FaultPlan injects deterministic, seeded faults into a market run,
+// reproducing the churn and failure modes a production edge deployment sees:
+// EDPs joining and leaving mid-epoch, peer-share transactions dropped on the
+// wire, and strategy determination (the equilibrium solve) failing outright.
+// All decisions derive from Seed via independent per-epoch streams, so a
+// fault-injected run is exactly reproducible and survives checkpoint/resume
+// without carrying extra state.
+//
+// Instead of aborting, the epoch loop degrades: a failed strategy
+// determination falls back to the last successfully prepared strategy (or a
+// Random Replacement baseline when no epoch ever prepared), and dropped
+// shares degrade the buyer to the cloud-fetch service case. Every degradation
+// is reported under "sim.fault.*" and "resilience.*" metric names.
+type FaultPlan struct {
+	// Seed drives all fault decisions; independent of the simulation seed so
+	// the same market can be replayed under different fault universes.
+	Seed int64
+	// EDPChurn is the per-EDP, per-epoch probability of churning: a churned
+	// EDP leaves at a uniformly drawn step and stays absent until a drawn
+	// rejoin step (possibly the epoch end). Absent EDPs neither trade nor
+	// evolve their state, and peers probing them fall through to the cloud.
+	EDPChurn float64
+	// DropShare is the per-transaction probability that a qualified peer
+	// share is dropped; the buyer then serves the request via the cloud
+	// (Case 3) instead of aborting the trade.
+	DropShare float64
+	// SolverFail is the per-epoch probability that strategy determination is
+	// forced to fail before it runs, exercising the degradation path even
+	// when the solver itself is healthy.
+	SolverFail float64
+	// ErrorBudget bounds the number of degraded epochs the run tolerates:
+	// exceeding it fails the run with ErrBudgetExceeded. Zero or negative
+	// means unlimited (the run never aborts on degradation alone).
+	ErrorBudget int
+}
+
+// Validate checks the fault plan.
+func (fp *FaultPlan) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"EDPChurn", fp.EDPChurn}, {"DropShare", fp.DropShare}, {"SolverFail", fp.SolverFail}} {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("sim: fault plan %s must be a probability in [0,1], got %g", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// faultShareSalt decorrelates the transaction-level drop stream from the
+// epoch-level churn/failure stream.
+const faultShareSalt = 0x5ca1ab1e
+
+// epochFaults is one epoch's realised fault schedule, drawn up-front from the
+// plan's per-epoch streams so it is independent of the simulation RNG and of
+// checkpoint/resume boundaries.
+type epochFaults struct {
+	solverFail  bool
+	leave, join []int // per EDP: absent during steps [leave, join); leave<0 = present
+	churned     int
+	shareRng    *rand.Rand // per-epoch stream for transaction-level drops
+	dropProb    float64
+}
+
+// epochFaults realises the plan for one epoch of m EDPs and steps steps.
+func (fp *FaultPlan) epochFaults(epoch, m, steps int) *epochFaults {
+	rng := sde.NewChildRNG(fp.Seed, epoch)
+	ef := &epochFaults{
+		leave:    make([]int, m),
+		join:     make([]int, m),
+		shareRng: sde.NewChildRNG(fp.Seed^faultShareSalt, epoch),
+		dropProb: fp.DropShare,
+	}
+	ef.solverFail = fp.SolverFail > 0 && rng.Float64() < fp.SolverFail
+	for i := 0; i < m; i++ {
+		ef.leave[i], ef.join[i] = -1, -1
+		if fp.EDPChurn > 0 && rng.Float64() < fp.EDPChurn {
+			l := rng.Intn(steps)
+			ef.leave[i] = l
+			ef.join[i] = l + 1 + rng.Intn(steps-l) // in (l, steps]; == steps never rejoins
+			ef.churned++
+		}
+	}
+	return ef
+}
+
+// active reports whether EDP i participates in step s.
+func (ef *epochFaults) active(i, s int) bool {
+	return ef.leave[i] < 0 || s < ef.leave[i] || s >= ef.join[i]
+}
+
+// dropShare draws one transaction-level drop decision.
+func (ef *epochFaults) dropShare() bool {
+	return ef.dropProb > 0 && ef.shareRng.Float64() < ef.dropProb
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/resilience"
+)
+
+func faultyConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := quickConfig(t, policy.NewMFGCP())
+	cfg.Epochs = 4
+	return cfg
+}
+
+// TestFaultInjectedRunCompletes is the graceful-degradation acceptance test:
+// a run under heavy churn, dropped shares and forced solver failures completes
+// without aborting, while the resilience metrics report the recoveries.
+func TestFaultInjectedRunCompletes(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	cfg := faultyConfig(t)
+	cfg.Obs = reg
+	cfg.Faults = &FaultPlan{
+		Seed:       7,
+		EDPChurn:   0.4,
+		DropShare:  0.5,
+		SolverFail: 0.5,
+	}
+	e := resilience.DefaultEscalation()
+	cfg.Recovery = &e
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("fault-injected run aborted: %v", err)
+	}
+	if len(res.Stats) != cfg.Epochs {
+		t.Fatalf("run incomplete: %d of %d epochs", len(res.Stats), cfg.Epochs)
+	}
+	s := reg.Snapshot()
+	if s.Counters["sim.fault.churned_edps"] == 0 {
+		t.Errorf("no churn realised under EDPChurn=0.4: %+v", s.Counters)
+	}
+	if s.Counters["sim.fault.shares_dropped"] == 0 {
+		t.Errorf("no shares dropped under DropShare=0.5")
+	}
+	if s.Counters["sim.fault.degraded_epochs"] == 0 {
+		t.Errorf("no degraded epochs under SolverFail=0.5 (seed 7)")
+	}
+	if s.Counters["resilience.fallbacks"] == 0 {
+		t.Errorf("degradations not reported under resilience.fallbacks")
+	}
+}
+
+// TestFaultDeterminism pins that the fault universe derives solely from the
+// plan seed: two identically configured runs match bit-for-bit, and a
+// different fault seed produces a different outcome.
+func TestFaultDeterminism(t *testing.T) {
+	run := func(faultSeed int64) *Result {
+		cfg := faultyConfig(t)
+		cfg.Faults = &FaultPlan{Seed: faultSeed, EDPChurn: 0.3, DropShare: 0.3, SolverFail: 0.25}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	a, b := run(3), run(3)
+	assertSameResult(t, a, b)
+	c := run(4)
+	same := true
+	for i := range a.Ledgers {
+		if a.Ledgers[i] != c.Ledgers[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different fault seeds produced identical ledgers")
+	}
+}
+
+// TestFaultErrorBudget checks the per-run error budget: a plan whose forced
+// solver failures exceed it fails the run with ErrBudgetExceeded.
+func TestFaultErrorBudget(t *testing.T) {
+	cfg := faultyConfig(t)
+	cfg.Faults = &FaultPlan{Seed: 7, SolverFail: 1, ErrorBudget: 2}
+	if _, err := Run(cfg); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+
+	// The same plan with the budget lifted completes on the RR fallback.
+	cfg2 := faultyConfig(t)
+	cfg2.Faults = &FaultPlan{Seed: 7, SolverFail: 1}
+	res, err := Run(cfg2)
+	if err != nil {
+		t.Fatalf("unlimited-budget run aborted: %v", err)
+	}
+	if len(res.Stats) != cfg2.Epochs {
+		t.Fatalf("run incomplete: %d epochs", len(res.Stats))
+	}
+}
+
+// TestFaultResumeBitForBit extends the resume acceptance to fault-injected
+// runs: the per-epoch fault streams are stateless in the plan seed, so a
+// killed-and-resumed faulty run matches the uninterrupted one exactly.
+func TestFaultResumeBitForBit(t *testing.T) {
+	plan := &FaultPlan{Seed: 11, EDPChurn: 0.3, DropShare: 0.4, SolverFail: 0.3}
+	base := faultyConfig(t)
+	base.Faults = plan
+	want, err := Run(base)
+	if err != nil {
+		t.Fatalf("uninterrupted faulty run: %v", err)
+	}
+
+	dir := t.TempDir()
+	killed := faultyConfig(t)
+	killed.Faults = plan
+	killed.Checkpoint = CheckpointConfig{Dir: dir}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killed.Obs = &cancelAfter{Recorder: obs.Nop, name: "sim.checkpoint.writes", after: 2, cancel: cancel}
+	if _, err := RunContext(ctx, killed); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("killed faulty run: got %v, want ErrInterrupted", err)
+	}
+
+	resumed := faultyConfig(t)
+	resumed.Faults = plan
+	resumed.Checkpoint = CheckpointConfig{Dir: dir, Resume: true}
+	got, err := Run(resumed)
+	if err != nil {
+		t.Fatalf("resumed faulty run: %v", err)
+	}
+	assertSameResult(t, want, got)
+}
+
+// TestFaultPlanEpochSchedules sanity-checks the realised schedules: absence
+// intervals lie inside the epoch and the solver-failure draw matches the
+// probability extremes.
+func TestFaultPlanEpochSchedules(t *testing.T) {
+	fp := &FaultPlan{Seed: 1, EDPChurn: 1}
+	ef := fp.epochFaults(0, 50, 20)
+	if ef.churned != 50 {
+		t.Fatalf("churned %d of 50 under probability 1", ef.churned)
+	}
+	for i := 0; i < 50; i++ {
+		l, j := ef.leave[i], ef.join[i]
+		if l < 0 || l >= 20 || j <= l || j > 20 {
+			t.Fatalf("EDP %d absence [%d,%d) outside epoch", i, l, j)
+		}
+		if ef.active(i, l) {
+			t.Fatalf("EDP %d active at its leave step", i)
+		}
+		if l > 0 && !ef.active(i, l-1) {
+			t.Fatalf("EDP %d inactive before leaving", i)
+		}
+		if j < 20 && !ef.active(i, j) {
+			t.Fatalf("EDP %d inactive at its rejoin step", i)
+		}
+	}
+	never := &FaultPlan{Seed: 1}
+	ef = never.epochFaults(0, 50, 20)
+	if ef.churned != 0 || ef.solverFail || ef.dropShare() {
+		t.Fatal("zero-probability plan realised faults")
+	}
+	always := &FaultPlan{Seed: 1, SolverFail: 1, DropShare: 1}
+	ef = always.epochFaults(3, 5, 20)
+	if !ef.solverFail || !ef.dropShare() {
+		t.Fatal("probability-1 plan realised nothing")
+	}
+}

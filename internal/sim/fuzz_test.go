@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"testing"
+	"time"
+)
+
+// fuzzSeedCheckpoint builds one small valid snapshot frame for the corpus.
+func fuzzSeedCheckpoint(tb testing.TB) []byte {
+	tb.Helper()
+	ck := &Checkpoint{
+		Seed: 1, PolicyName: "MFG-CP", M: 2, K: 2, Epochs: 3, StepsPerEpoch: 4,
+		NextEpoch: 1, RNGDraws: 123, Prepared: true,
+		Agents: []AgentState{
+			{X: 1, Y: 2, H: 3, Q: []float64{4, 5}},
+			{X: 6, Y: 7, H: 8, Q: []float64{9, 10}},
+		},
+		Ledgers:      make([]Ledger, 2),
+		Stats:        []EpochStats{{Epoch: 0, MeanUtility: 1}},
+		StrategyTime: time.Second,
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		tb.Fatal(err)
+	}
+	env := checkpointEnvelope{
+		Magic:   checkpointMagic,
+		Version: checkpointVersion,
+		Sum:     crc32.ChecksumIEEE(payload.Bytes()),
+		Data:    payload.Bytes(),
+	}
+	var frame bytes.Buffer
+	if err := gob.NewEncoder(&frame).Encode(env); err != nil {
+		tb.Fatal(err)
+	}
+	return frame.Bytes()
+}
+
+// FuzzCheckpointDecode pins the corruption contract of the snapshot reader:
+// whatever bytes land on disk — truncated writes, bit flips, foreign files —
+// decodeCheckpoint returns a structured error or a consistent snapshot, and
+// never panics. Any decoded snapshot must satisfy its own sanity invariants.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := fuzzSeedCheckpoint(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:1])
+	f.Add([]byte{})
+	f.Add([]byte("mfgcp-market-checkpoint"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := decodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCheckpointCorrupt) && !errors.Is(err, ErrCheckpointVersion) {
+				t.Fatalf("unstructured decode error: %v", err)
+			}
+			return
+		}
+		if ck == nil {
+			t.Fatal("nil snapshot without error")
+		}
+		if err := ck.sane(); err != nil {
+			t.Fatalf("decoded snapshot fails its own sanity check: %v", err)
+		}
+	})
+}
+
+// TestCheckpointRoundTrip complements the fuzz target with the positive path:
+// write-then-load through the real file layer reproduces the snapshot exactly.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want, err := decodeCheckpoint(bytes.NewReader(fuzzSeedCheckpoint(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.CacheKeys = []string{"k"}
+	want.CacheBlobs = [][]byte{{1, 2, 3}}
+	want.PolicyState = []byte{4, 5}
+	if err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if got.Seed != want.Seed || got.RNGDraws != want.RNGDraws || got.NextEpoch != want.NextEpoch ||
+		len(got.Agents) != len(want.Agents) || got.StrategyTime != want.StrategyTime {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Agents[1].Q[1] != want.Agents[1].Q[1] {
+		t.Fatal("agent state lost in round trip")
+	}
+	if !bytes.Equal(got.CacheBlobs[0], want.CacheBlobs[0]) || !bytes.Equal(got.PolicyState, want.PolicyState) {
+		t.Fatal("opaque blobs lost in round trip")
+	}
+
+	// Writing into an unwritable location errors instead of corrupting.
+	if err := WriteCheckpoint("", want); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := LoadCheckpoint(t.TempDir()); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing snapshot: got %v, want fs.ErrNotExist", err)
+	}
+}

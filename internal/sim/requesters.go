@@ -41,14 +41,16 @@ func (c RequesterConfig) Validate() error {
 	if c.J == 0 {
 		return nil
 	}
-	if c.Speed < 0 {
-		return fmt.Errorf("sim: requester speed must be non-negative, got %g", c.Speed)
+	// NaN compares false against every bound, so the "< 0" guards alone would
+	// let NaN rates drive the demand draws; reject non-finite values explicitly.
+	if math.IsNaN(c.Speed) || math.IsInf(c.Speed, 0) || c.Speed < 0 {
+		return fmt.Errorf("sim: requester speed must be non-negative and finite, got %g", c.Speed)
 	}
-	if c.RequestsPerRequester < 0 {
-		return fmt.Errorf("sim: requests per requester must be non-negative, got %g", c.RequestsPerRequester)
+	if math.IsNaN(c.RequestsPerRequester) || math.IsInf(c.RequestsPerRequester, 0) || c.RequestsPerRequester < 0 {
+		return fmt.Errorf("sim: requests per requester must be non-negative and finite, got %g", c.RequestsPerRequester)
 	}
-	if c.TimelinessNoise < 0 {
-		return fmt.Errorf("sim: timeliness noise must be non-negative, got %g", c.TimelinessNoise)
+	if math.IsNaN(c.TimelinessNoise) || math.IsInf(c.TimelinessNoise, 0) || c.TimelinessNoise < 0 {
+		return fmt.Errorf("sim: timeliness noise must be non-negative and finite, got %g", c.TimelinessNoise)
 	}
 	return nil
 }

@@ -12,7 +12,10 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"math"
 	"math/rand"
@@ -23,6 +26,7 @@ import (
 	"repro/internal/numerics"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/sde"
 	"repro/internal/trace"
 )
@@ -79,6 +83,28 @@ type Config struct {
 	// config carries no recorder of its own it inherits this one, so one
 	// injection instruments the whole Algorithm-1 pipeline.
 	Obs obs.Recorder
+
+	// Faults, when set, injects deterministic seeded faults (EDP churn,
+	// dropped peer shares, forced solver failures) and switches the epoch
+	// loop from abort-on-error to graceful degradation under the plan's
+	// error budget.
+	Faults *FaultPlan
+
+	// Recovery, when set, is installed on policies that support divergence
+	// recovery (see the recoverySetting interface): failing equilibrium
+	// solves are retried under the bounded escalation ladder before the
+	// epoch is declared failed.
+	Recovery *resilience.Escalation
+
+	// Checkpoint configures epoch-boundary snapshots and resume (zero value
+	// disables both).
+	Checkpoint CheckpointConfig
+
+	// Context, when set, bounds Run with cancellation or a deadline; the
+	// epoch loop checks it at step granularity and the solver at iteration
+	// granularity. RunContext's argument takes precedence. Nil means
+	// context.Background().
+	Context context.Context
 }
 
 // DefaultConfig returns the simulation settings used by the experiments.
@@ -113,16 +139,29 @@ func (c *Config) Validate() error {
 	if c.StepsPerEpoch < 1 {
 		return fmt.Errorf("sim: StepsPerEpoch must be ≥ 1, got %d", c.StepsPerEpoch)
 	}
-	if c.RequestsPerEDP < 0 {
-		return fmt.Errorf("sim: RequestsPerEDP must be non-negative, got %g", c.RequestsPerEDP)
+	// NaN compares false against every bound, so "x < 0" guards alone would
+	// wave NaN configurations through into the epoch loop; reject non-finite
+	// rates and geometry explicitly (mirroring the mec.Params checks).
+	if math.IsNaN(c.RequestsPerEDP) || math.IsInf(c.RequestsPerEDP, 0) || c.RequestsPerEDP < 0 {
+		return fmt.Errorf("sim: RequestsPerEDP must be non-negative and finite, got %g", c.RequestsPerEDP)
 	}
-	if !(c.Area > 0) {
-		return fmt.Errorf("sim: Area must be positive, got %g", c.Area)
+	if math.IsNaN(c.Area) || math.IsInf(c.Area, 0) || !(c.Area > 0) {
+		return fmt.Errorf("sim: Area must be positive and finite, got %g", c.Area)
 	}
 	if err := c.Requesters.Validate(); err != nil {
 		return err
 	}
-	return nil
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Recovery != nil {
+		if err := c.Recovery.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.Checkpoint.Validate()
 }
 
 // Ledger accumulates the economic account of one EDP over the whole run.
@@ -232,8 +271,30 @@ type edp struct {
 	q    []float64
 }
 
-// Run executes the market simulation.
+// ErrInterrupted wraps the context error when a run is cancelled or times
+// out mid-flight. The partial Result accumulated so far is returned alongside
+// it, and — when checkpointing is configured — the last epoch-boundary
+// snapshot is already on disk, so the run can resume where it left off.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// Run executes the market simulation under Config.Context (or no deadline
+// when it is nil).
 func Run(cfg Config) (*Result, error) {
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return RunContext(ctx, cfg)
+}
+
+// RunContext executes the market simulation under ctx: cancellation and
+// deadlines are honoured at simulation-step granularity (and forwarded to the
+// strategy-determination solves at best-response-iteration granularity). On
+// interruption the partial Result is returned with ErrInterrupted.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -241,6 +302,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Solver.Obs == nil {
 		cfg.Solver.Obs = cfg.Obs
 	}
+	var eqCache *core.EquilibriumCache
 	if cfg.EqCacheSize > 0 {
 		if ec, ok := cfg.Policy.(equilibriumCaching); ok {
 			cache, err := core.NewEquilibriumCache(cfg.EqCacheSize)
@@ -248,6 +310,12 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			ec.SetEquilibriumCache(cache)
+			eqCache = cache
+		}
+	}
+	if cfg.Recovery != nil {
+		if rs, ok := cfg.Policy.(recoverySetting); ok {
+			rs.SetRecovery(cfg.Recovery)
 		}
 	}
 	p := cfg.Params
@@ -274,8 +342,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	timeliness := ds.Timeliness(p.LMax)
 
-	// Population initialisation.
-	rng := sde.NewRNG(cfg.Seed)
+	// Population initialisation. The draw-counting source makes the stream
+	// position checkpointable: a resumed run re-seeds and skips the recorded
+	// number of draws, reproducing the stream bit-exactly.
+	src := sde.NewCountingSource(cfg.Seed)
+	rng := rand.New(src)
 	ou := channel.OU()
 	sdH := math.Sqrt(ou.StationaryVar())
 	agents := make([]edp, p.M)
@@ -306,7 +377,55 @@ func Run(cfg Config) (*Result, error) {
 		requesters = newRequesterPopulation(cfg.Requesters, cfg.Area, ou, p.HMin, p.HMax, rng)
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	// --- Resume from an epoch-boundary snapshot, if one exists.
+	startEpoch := 0
+	prepared := false   // has any epoch successfully prepared a strategy?
+	degradedEpochs := 0 // fault error budget consumed
+	if cfg.Checkpoint.Resume {
+		ck, err := LoadCheckpoint(cfg.Checkpoint.Dir)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// No snapshot yet: a resume-requested run starts fresh.
+		case err != nil:
+			return nil, err
+		default:
+			if err := ck.matches(&cfg); err != nil {
+				return nil, err
+			}
+			if err := restoreRun(ck, &cfg, agents, requesters, res, eqCache); err != nil {
+				return nil, err
+			}
+			src = sde.NewCountingSource(cfg.Seed)
+			src.Skip(ck.RNGDraws)
+			rng = rand.New(src)
+			startEpoch = ck.NextEpoch
+			prepared = ck.Prepared
+			degradedEpochs = ck.DegradedEpochs
+			rec.Add("sim.checkpoint.resumes", 1)
+			rec.Event("sim.resumed", slog.Int("next_epoch", startEpoch))
+		}
+	}
+
+	finish := func() {
+		res.FinalQ = make([][]float64, p.M)
+		res.FinalH = make([]float64, p.M)
+		for i := range agents {
+			res.FinalQ[i] = append([]float64(nil), agents[i].q...)
+			res.FinalH[i] = agents[i].h
+		}
+	}
+	interrupted := func(epoch, step int) (*Result, error) {
+		finish()
+		rec.Add("sim.interrupted", 1)
+		return res, fmt.Errorf("%w at epoch %d step %d: %w", ErrInterrupted, epoch, step, context.Cause(ctx))
+	}
+
+	var fallback policy.Policy // lazily built RR baseline for degraded epochs
+
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		if ctx.Err() != nil {
+			return interrupted(epoch, 0)
+		}
 		epochSpan := rec.Start("sim.epoch")
 		// --- Demand refresh (Algorithm 1, lines 4–5 and 8).
 		shares, err := ds.DayShares(epoch % ds.Days)
@@ -363,8 +482,21 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
+		// --- Fault schedule for the epoch (deterministic from the plan seed,
+		// independent of the simulation stream).
+		var ef *epochFaults
+		if cfg.Faults != nil {
+			ef = cfg.Faults.epochFaults(epoch, p.M, cfg.StepsPerEpoch)
+			if ef.churned > 0 {
+				rec.Add("sim.fault.churned_edps", float64(ef.churned))
+			}
+		}
+
 		// --- Strategy determination (Algorithm 1 line 9 / Table II timing).
-		ctx := &policy.EpochContext{
+		// Under a fault plan a failed (or fault-forced-to-fail) solve degrades
+		// the epoch — reusing the last prepared strategy, or the RR baseline
+		// when no epoch ever prepared — instead of aborting the run.
+		pctx := &policy.EpochContext{
 			Params:    p,
 			Catalog:   catalog,
 			Workloads: workloads,
@@ -372,10 +504,46 @@ func Run(cfg Config) (*Result, error) {
 			Epoch:     epoch,
 			Seed:      cfg.Seed,
 			M:         p.M,
+			Ctx:       ctx,
 		}
+		activePol := cfg.Policy
+		degraded := false
 		start := time.Now()
-		if err := cfg.Policy.Prepare(ctx); err != nil {
-			return nil, fmt.Errorf("sim: epoch %d: %w", epoch, err)
+		if ef != nil && ef.solverFail {
+			rec.Add("sim.fault.solver_forced", 1)
+			degraded = true
+		} else if err := cfg.Policy.Prepare(pctx); err != nil {
+			if ctx.Err() != nil {
+				return interrupted(epoch, 0)
+			}
+			if cfg.Faults == nil {
+				return nil, fmt.Errorf("sim: epoch %d: %w", epoch, err)
+			}
+			rec.Add("sim.fault.solver_errors", 1)
+			rec.Event("sim.degraded", slog.Int("epoch", epoch), slog.String("cause", err.Error()))
+			degraded = true
+		} else {
+			prepared = true
+		}
+		if degraded {
+			degradedEpochs++
+			rec.Add("resilience.fallbacks", 1)
+			rec.Add("sim.fault.degraded_epochs", 1)
+			if cfg.Faults != nil && cfg.Faults.ErrorBudget > 0 && degradedEpochs > cfg.Faults.ErrorBudget {
+				return nil, fmt.Errorf("sim: epoch %d: %w (%d degraded epochs, budget %d)",
+					epoch, ErrBudgetExceeded, degradedEpochs, cfg.Faults.ErrorBudget)
+			}
+			if !prepared {
+				// No strategy has ever been prepared, so there is nothing
+				// stale to fall back on: degrade to the RR baseline.
+				if fallback == nil {
+					fallback = policy.NewRR()
+				}
+				if err := fallback.Prepare(pctx); err != nil {
+					return nil, fmt.Errorf("sim: epoch %d: fallback: %w", epoch, err)
+				}
+				activePol = fallback
+			}
 		}
 		prepTime := time.Since(start)
 		res.StrategyTime += prepTime
@@ -388,6 +556,9 @@ func Run(cfg Config) (*Result, error) {
 		xs := make([]float64, p.M) // caching rates of one content this step
 
 		for s := 0; s < cfg.StepsPerEpoch; s++ {
+			if ctx.Err() != nil {
+				return interrupted(epoch, s)
+			}
 			t := float64(s) * dt
 			// Per-link fading and the per-EDP mean reciprocal rate that the
 			// Eq. 9 staleness sum needs, when the requester level is on.
@@ -400,10 +571,15 @@ func Run(cfg Config) (*Result, error) {
 				if workloads[k].Requests <= 0 {
 					continue
 				}
-				// Collect rates and their sum for the Eq. (5) price.
+				// Collect rates and their sum for the Eq. (5) price. Churned
+				// (absent) EDPs contribute a zero rate to the supply term.
 				var sumX float64
 				for i := range agents {
-					x, err := cfg.Policy.Rate(i, k, t, agents[i].h, agents[i].q[k])
+					if ef != nil && !ef.active(i, s) {
+						xs[i] = 0
+						continue
+					}
+					x, err := activePol.Rate(i, k, t, agents[i].h, agents[i].q[k])
 					if err != nil {
 						return nil, fmt.Errorf("sim: epoch %d step %d: %w", epoch, s, err)
 					}
@@ -411,6 +587,9 @@ func Run(cfg Config) (*Result, error) {
 					sumX += x
 				}
 				for i := range agents {
+					if ef != nil && !ef.active(i, s) {
+						continue // absent EDPs neither trade nor evolve
+					}
 					a := &agents[i]
 					x := xs[i]
 					// Price (Eq. 5).
@@ -445,7 +624,15 @@ func Run(cfg Config) (*Result, error) {
 					default:
 						j := peerIndex(rng, p.M, i)
 						peer := &agents[j]
-						if cfg.Policy.SharingEnabled() && peer.q[k] <= alphaQ {
+						peerQualified := activePol.SharingEnabled() && peer.q[k] <= alphaQ &&
+							(ef == nil || ef.active(j, s))
+						if peerQualified && ef != nil && ef.dropShare() {
+							// The share transaction is dropped on the wire: the
+							// buyer degrades to the cloud-fetch service case.
+							rec.Add("sim.fault.shares_dropped", 1)
+							peerQualified = false
+						}
+						if peerQualified {
 							// Case 2: buy the gap from the peer, sell on.
 							rec.Add("sim.serve.peer_share", 1)
 							led.Trading += r * price * (p.Qk - peer.q[k]) * dt
@@ -476,8 +663,13 @@ func Run(cfg Config) (*Result, error) {
 					a.q[k] = sde.ReflectInto(a.q[k]+drift*dt+p.SigmaQ*sqDt*rng.NormFloat64(), 0, p.Qk)
 				}
 			}
-			// Channel dynamics (Eq. 1) once per step per EDP.
+			// Channel dynamics (Eq. 1) once per step per EDP. Absent EDPs'
+			// channels are frozen (their draw is skipped, which is what makes
+			// the fault stream independent of the simulation stream matter).
 			for i := range agents {
+				if ef != nil && !ef.active(i, s) {
+					continue
+				}
 				a := &agents[i]
 				a.h = sde.ReflectInto(a.h+ou.Drift(t, a.h)*dt+ou.Diffusion(t, a.h)*sqDt*rng.NormFloat64(), p.HMin, p.HMax)
 			}
@@ -519,14 +711,28 @@ func Run(cfg Config) (*Result, error) {
 			slog.Float64("mean_price", es.MeanPrice),
 			slog.Float64("mean_remaining", es.MeanRemain),
 			slog.Duration("strategy_time", prepTime))
+
+		// --- Epoch-boundary snapshot.
+		if cfg.Checkpoint.Dir != "" {
+			every := cfg.Checkpoint.Every
+			if every < 1 {
+				every = 1
+			}
+			if (epoch+1)%every == 0 || epoch == cfg.Epochs-1 {
+				ck, err := snapshotRun(&cfg, agents, requesters, res, eqCache,
+					epoch+1, src.Draws(), prepared, degradedEpochs)
+				if err != nil {
+					return nil, fmt.Errorf("sim: epoch %d: %w", epoch, err)
+				}
+				if err := WriteCheckpoint(cfg.Checkpoint.Dir, ck); err != nil {
+					return nil, fmt.Errorf("sim: epoch %d: %w", epoch, err)
+				}
+				rec.Add("sim.checkpoint.writes", 1)
+			}
+		}
 	}
 
-	res.FinalQ = make([][]float64, p.M)
-	res.FinalH = make([]float64, p.M)
-	for i := range agents {
-		res.FinalQ[i] = append([]float64(nil), agents[i].q...)
-		res.FinalH[i] = agents[i].h
-	}
+	finish()
 	return res, nil
 }
 
@@ -535,6 +741,21 @@ func Run(cfg Config) (*Result, error) {
 // for it so cache plumbing stays optional for the baseline policies.
 type equilibriumCaching interface {
 	SetEquilibriumCache(*core.EquilibriumCache)
+}
+
+// recoverySetting is implemented by policies that accept a divergence-recovery
+// escalation ladder for their equilibrium solves (policy.MFGCP).
+type recoverySetting interface {
+	SetRecovery(*resilience.Escalation)
+}
+
+// policyCheckpointer is implemented by policies whose prepared strategy must
+// survive checkpoint/resume bit-for-bit (policy.MFGCP, whose warm starts make
+// later epochs depend on earlier solves). Stateless policies re-derive their
+// strategy from (Seed, Epoch) in Prepare and need no snapshot.
+type policyCheckpointer interface {
+	CheckpointState() ([]byte, error)
+	RestoreState([]byte) error
 }
 
 // peerIndex draws a uniformly random peer distinct from i (the paper assumes

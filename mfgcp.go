@@ -24,6 +24,7 @@
 package mfgcp
 
 import (
+	"context"
 	"log/slog"
 
 	"repro/internal/core"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/mec"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -133,6 +135,43 @@ func DefaultMarketConfig(p Params, pol Policy) MarketConfig { return sim.Default
 
 // RunMarket executes a market simulation.
 func RunMarket(cfg MarketConfig) (*MarketResult, error) { return sim.Run(cfg) }
+
+// RunMarketContext executes a market simulation under ctx: cancellation and
+// deadlines are honoured at simulation-step granularity and forwarded into the
+// equilibrium solves. On interruption the partial result is returned together
+// with an error wrapping ErrMarketInterrupted.
+func RunMarketContext(ctx context.Context, cfg MarketConfig) (*MarketResult, error) {
+	return sim.RunContext(ctx, cfg)
+}
+
+// ErrMarketInterrupted wraps the context error of a cancelled or timed-out
+// market run; the partial result is still returned.
+var ErrMarketInterrupted = sim.ErrInterrupted
+
+// ErrDiverged is wrapped by SolveEquilibrium when the best-response iteration
+// produces a non-finite or blown-up iterate.
+var ErrDiverged = core.ErrDiverged
+
+// FaultPlan injects deterministic seeded faults (EDP churn, dropped peer
+// shares, forced solver failures) into a market run; the epoch loop then
+// degrades gracefully instead of aborting (see MarketConfig.Faults).
+type FaultPlan = sim.FaultPlan
+
+// ErrFaultBudgetExceeded fails a fault-injected market run whose degraded
+// epochs exceeded the plan's error budget.
+var ErrFaultBudgetExceeded = sim.ErrBudgetExceeded
+
+// MarketCheckpointConfig configures atomic epoch-boundary snapshots and
+// bit-for-bit resume of a market run (see MarketConfig.Checkpoint).
+type MarketCheckpointConfig = sim.CheckpointConfig
+
+// RecoveryEscalation is the bounded divergence-recovery ladder applied to
+// failing equilibrium solves (see MarketConfig.Recovery): deeper damping, a
+// PDE scheme switch and time-mesh refinement, in that order.
+type RecoveryEscalation = resilience.Escalation
+
+// DefaultRecoveryEscalation returns the ladder used by the market simulator.
+func DefaultRecoveryEscalation() RecoveryEscalation { return resilience.DefaultEscalation() }
 
 // TraceDataset is a trending-video demand trace (synthetic or loaded).
 type TraceDataset = trace.Dataset
