@@ -1,0 +1,148 @@
+package mfgcp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "regenerate testdata/api.txt from the current public surface")
+
+// TestPublicAPILock pins the package's exported surface to testdata/api.txt.
+// Any addition, removal or signature change fails this test until the golden
+// file is regenerated with
+//
+//	go test -run TestPublicAPILock -update-api .
+//
+// making API changes deliberate and reviewable: the golden diff shows exactly
+// what the PR adds to or removes from the stable tier (see DESIGN.md §10).
+func TestPublicAPILock(t *testing.T) {
+	got := renderPublicAPI(t)
+	golden := filepath.Join("testdata", "api.txt")
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d declarations)", golden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with -update-api)", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface changed; if intentional, regenerate with\n\n"+
+			"\tgo test -run TestPublicAPILock -update-api .\n\n%s",
+			unifiedDiffish(string(want), got))
+	}
+}
+
+// renderPublicAPI parses every non-test file of the package and renders each
+// exported top-level declaration (docs and function bodies stripped), sorted.
+func renderPublicAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decls []string
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, d := range f.Decls {
+			decls = append(decls, renderDecl(t, fset, d)...)
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n") + "\n"
+}
+
+// renderDecl returns the exported declarations of d as canonical one-per-line
+// strings, empty when d exports nothing.
+func renderDecl(t *testing.T, fset *token.FileSet, d ast.Decl) []string {
+	t.Helper()
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatalf("print declaration: %v", err)
+		}
+		// Collapse whitespace so gofmt churn cannot fail the lock.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	switch d := d.(type) {
+	case *ast.FuncDecl:
+		if d.Recv != nil || !d.Name.IsExported() {
+			return nil // methods live on internal types; aliases carry them
+		}
+		d.Body = nil
+		d.Doc = nil
+		return []string{render(d)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					s.Doc, s.Comment = nil, nil
+					out = append(out, "type "+render(s))
+				}
+			case *ast.ValueSpec:
+				exported := false
+				for _, n := range s.Names {
+					if n.IsExported() {
+						exported = true
+					}
+				}
+				if exported {
+					s.Doc, s.Comment = nil, nil
+					out = append(out, d.Tok.String()+" "+render(s))
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// unifiedDiffish renders a minimal line diff (additions/removals only) — good
+// enough to see what changed without a diff dependency.
+func unifiedDiffish(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -25,6 +25,10 @@
 // (atomic epoch-boundary snapshots), -resume (bit-for-bit restart from the
 // snapshot), -fault-plan SPEC (seeded fault injection) and -recover
 // (divergence-recovery ladder); see `mfgcp market -h`.
+//
+// `mfgcp serve` runs the long-running equilibrium-serving daemon (HTTP/JSON:
+// POST /v1/solve, POST /v1/policy/epoch, /healthz, /readyz); see
+// `mfgcp serve -h` and the README's Serving section.
 package main
 
 import (
@@ -63,6 +67,8 @@ func run(args []string) (retErr error) {
 		return solveCmd(args[1:])
 	case "market":
 		return marketCmd(args[1:])
+	case "serve":
+		return serveCmd(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -122,6 +128,14 @@ func run(args []string) (retErr error) {
 	return runOne(cmd, opt, *csvDir, tel)
 }
 
+// setFlags returns the names of the flags set explicitly on the command
+// line, so file-provided configuration loses only to deliberate overrides.
+func setFlags(fs *flag.FlagSet) map[string]bool {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
 func knownExperiment(id string) bool {
 	for _, known := range experiments.IDs() {
 		if id == known {
@@ -159,6 +173,7 @@ usage:
   mfgcp <id> [flags]         run one experiment (e.g. fig5, table2)
   mfgcp solve [flags]        solve one custom equilibrium (see solve -h)
   mfgcp market [flags]       run one agent-based market (see market -h)
+  mfgcp serve [flags]        run the equilibrium-serving daemon (see serve -h)
 
 flags:
   -quick              fast smoke run (smaller grids and populations)
@@ -176,5 +191,10 @@ market resilience flags (see mfgcp market -h):
   -resume             bit-for-bit restart from the snapshot in -checkpoint
   -fault-plan SPEC    seeded fault injection (churn=,drop=,solver=,seed=,budget=)
   -recover            retry failing solves under the escalation ladder
+
+solve/market also accept -config FILE (sparse JSON configuration merged over
+the defaults; explicitly-set flags win). serve answers POST /v1/solve and
+POST /v1/policy/epoch with bounded workers, request coalescing, load shedding
+and graceful drain (see mfgcp serve -h).
 `)
 }

@@ -23,8 +23,13 @@ import (
 // -resume, -deadline, -fault-plan, -recover) make long runs interruptible,
 // restartable and fault-tolerant; SIGINT/SIGTERM flush the partial results
 // and exit cleanly, leaving a valid snapshot behind when -checkpoint is set.
+//
+// Configuration precedence: the experiment defaults, then -config FILE (a
+// sparse JSON market configuration, see internal/sim's codec), then every
+// flag set explicitly on the command line.
 func marketCmd(args []string) (retErr error) {
 	fs := flag.NewFlagSet("market", flag.ContinueOnError)
+	configPath := fs.String("config", "", "JSON market configuration merged over the defaults")
 	policyName := fs.String("policy", "mfg-cp", "caching policy: mfg-cp, mfg, rr, mpc, udcs")
 	m := fs.Int("m", 60, "number of EDPs")
 	k := fs.Int("k", 6, "number of contents")
@@ -55,52 +60,78 @@ func marketCmd(args []string) (retErr error) {
 		}
 	}()
 
-	var pol mfgcp.Policy
-	switch *policyName {
-	case "mfg-cp":
-		pol = mfgcp.NewMFGCPPolicy()
-	case "mfg":
-		pol = mfgcp.NewMFGPolicy()
-	case "rr":
-		pol = mfgcp.NewRRPolicy()
-	case "mpc":
-		pol = mfgcp.NewMPCPolicy()
-	case "udcs":
-		pol = mfgcp.NewUDCSPolicy()
-	default:
-		return fmt.Errorf("unknown policy %q (want mfg-cp, mfg, rr, mpc or udcs)", *policyName)
-	}
+	set := setFlags(fs)
+	// A flag wins over the config file only when set explicitly; without a
+	// file, every flag (including its default) defines the run.
+	flagWins := func(name string) bool { return *configPath == "" || set[name] }
 
+	pol, err := mfgcp.PolicyByName(*policyName)
+	if err != nil {
+		return err
+	}
 	params := mfgcp.DefaultParams()
 	params.M = *m
 	params.K = *k
 	cfg := mfgcp.DefaultMarketConfig(params, pol)
-	cfg.Epochs = *epochs
-	cfg.StepsPerEpoch = *steps
-	cfg.Seed = *seed
-	cfg.ExactInterference = *exact
-	cfg.Solver.Scheme = *scheme
-	cfg.EqCacheSize = *eqCache
-	cfg.Obs = tel.Rec
-	cfg.Checkpoint = mfgcp.MarketCheckpointConfig{Dir: *checkpoint, Every: *ckEvery, Resume: *resume}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		if cfg, err = sim.DecodeConfig(data, cfg); err != nil {
+			return fmt.Errorf("-config %s: %w", *configPath, err)
+		}
+		if flagWins("policy") {
+			cfg.Policy = pol
+		}
+		if flagWins("m") {
+			cfg.Params.M = *m
+		}
+		if flagWins("k") {
+			cfg.Params.K = *k
+		}
+	}
+
+	var opts []mfgcp.MarketOption
+	addOpt := func(name string, o mfgcp.MarketOption) {
+		if flagWins(name) {
+			opts = append(opts, o)
+		}
+	}
+	addOpt("epochs", mfgcp.WithEpochs(*epochs))
+	addOpt("steps", mfgcp.WithStepsPerEpoch(*steps))
+	addOpt("seed", mfgcp.WithSeed(*seed))
+	addOpt("exact-interference", mfgcp.WithExactInterference(*exact))
+	addOpt("eq-cache", mfgcp.WithEqCache(*eqCache))
+	if *scheme != "" {
+		opts = append(opts, mfgcp.WithScheme(*scheme))
+	}
+	if *configPath == "" || set["checkpoint"] || set["checkpoint-every"] || set["resume"] {
+		opts = append(opts, mfgcp.WithCheckpoint(mfgcp.MarketCheckpointConfig{
+			Dir: *checkpoint, Every: *ckEvery, Resume: *resume,
+		}))
+	}
 	if *faultSpec != "" {
 		plan, err := parseFaultPlan(*faultSpec)
 		if err != nil {
 			return err
 		}
-		cfg.Faults = plan
+		opts = append(opts, mfgcp.WithFaultPlan(*plan))
 	}
 	if *recovery {
-		ladder := mfgcp.DefaultRecoveryEscalation()
-		cfg.Recovery = &ladder
+		opts = append(opts, mfgcp.WithEscalation(mfgcp.DefaultRecoveryEscalation()))
 	}
 	if *requesters > 0 {
-		cfg.Requesters = sim.RequesterConfig{
+		opts = append(opts, mfgcp.WithRequesters(mfgcp.RequesterConfig{
 			J:                    *requesters,
 			Speed:                5,
-			RequestsPerRequester: cfg.RequestsPerEDP * float64(*m) / float64(*requesters),
+			RequestsPerRequester: cfg.RequestsPerEDP * float64(cfg.Params.M) / float64(*requesters),
 			TimelinessNoise:      0.5,
-		}
+		}))
+	}
+	opts = append(opts, mfgcp.WithRecorder(tel.Rec))
+	if cfg, err = mfgcp.ApplyMarketOptions(cfg, opts...); err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -125,7 +156,7 @@ func marketCmd(args []string) (retErr error) {
 		fmt.Println()
 	}
 	fmt.Printf("%s: %d EDPs × %d contents × %d/%d epochs in %.1fs (strategy time %v)\n",
-		pol.Name(), params.M, params.K, len(res.Stats), cfg.Epochs, time.Since(start).Seconds(),
+		cfg.Policy.Name(), cfg.Params.M, cfg.Params.K, len(res.Stats), cfg.Epochs, time.Since(start).Seconds(),
 		res.StrategyTime.Round(time.Millisecond))
 
 	tab := metrics.NewTable("per-epoch statistics (population means)",

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	mfgcp "repro"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// serveCmd implements `mfgcp serve`: the long-running equilibrium-serving
+// daemon. It answers POST /v1/solve (one equilibrium summary per workload)
+// and POST /v1/policy/epoch (batch per-content strategies via MFG-CP), plus
+// GET /healthz, /readyz and — whenever telemetry is on — /metrics,
+// /debug/vars and /debug/pprof on the same port.
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting work,
+// in-flight solves finish within -drain-timeout, and the process exits 0.
+func serveCmd(args []string) (retErr error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "solver worker pool size (0 = one per CPU)")
+	queue := fs.Int("queue", 64, "pending-solve queue depth (a full queue sheds with 429)")
+	eqCache := fs.Int("eq-cache", 256, "equilibrium cache capacity (entries)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "upper bound on request-supplied deadlines")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	configPath := fs.String("config", "", "JSON defaults for Params/Solver (same shape as a /v1/solve body)")
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tel, err := of.setup()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := tel.finish(); ferr != nil && retErr == nil {
+			retErr = fmt.Errorf("telemetry: %w", ferr)
+		}
+	}()
+
+	params := mfgcp.DefaultParams()
+	solver := mfgcp.DefaultSolverConfig(params)
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		var file solveFile
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("-config %s: %w", *configPath, err)
+		}
+		if len(file.Params) > 0 {
+			if params, err = engine.DecodeParams(file.Params, params); err != nil {
+				return fmt.Errorf("-config %s: %w", *configPath, err)
+			}
+			solver.Params = params
+		}
+		if len(file.Solver) > 0 {
+			if solver, err = engine.DecodeConfig(file.Solver, solver); err != nil {
+				return fmt.Errorf("-config %s: %w", *configPath, err)
+			}
+			params = solver.Params
+		}
+		if len(file.Workload) > 0 {
+			return fmt.Errorf("-config %s: a Workload section is per-request; the daemon config takes Params and Solver only", *configPath)
+		}
+	}
+
+	// The daemon always runs a live registry — the serve.* metrics are part
+	// of its API surface — reusing the telemetry one when the obs flags
+	// already built it.
+	reg := tel.reg
+	if reg == nil {
+		reg = obs.NewRegistry(nil)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *eqCache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drainTimeout,
+		Params:         params,
+		Solver:         solver,
+		Obs:            reg,
+		Registry:       reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "mfgcp serve: listening on %s (workers=%d queue=%d cache=%d)\n",
+		*addr, nWorkers, *queue, *eqCache)
+	if err := srv.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "mfgcp serve: drained cleanly")
+	return tel.summary("serve")
+}

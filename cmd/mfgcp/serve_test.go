@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral port and releases it for the daemon to bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitReady polls /healthz until the daemon answers.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+// TestServeEndToEnd is the CLI-level serve acceptance: start `mfgcp serve`
+// in-process on a small grid, answer /healthz and a converged /v1/solve, and
+// exit 0 on SIGTERM while draining.
+func TestServeEndToEnd(t *testing.T) {
+	addr := freePort(t)
+	cfgPath := filepath.Join(t.TempDir(), "serve.json")
+	if err := os.WriteFile(cfgPath, []byte(`{"Solver": {"NH": 7, "NQ": 15, "Steps": 24}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", addr, "-config", cfgPath, "-drain-timeout", "30s"})
+	}()
+	base := "http://" + addr
+	waitReady(t, base)
+
+	resp, err := http.Post(base+"/v1/solve", "application/json",
+		strings.NewReader(`{"Workload": {"Requests": 12, "Pop": 0.25, "Timeliness": 3}}`))
+	if err != nil {
+		t.Fatalf("POST /v1/solve: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/solve: status %d body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Converged bool      `json:"converged"`
+		Price     []float64 `json:"price"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if !out.Converged || len(out.Price) == 0 {
+		t.Fatalf("equilibrium summary not converged: %s", body)
+	}
+
+	// The daemon mounts its metrics on the same port.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// SIGTERM drains and the command returns nil — the exit-0 contract.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// TestSolveConfigFile checks `mfgcp solve -config` decodes the request-shaped
+// document and that explicit flags override it.
+func TestSolveConfigFile(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "solve.json")
+	doc := `{
+  "Params": {"Qk": 80},
+  "Solver": {"NH": 5, "NQ": 11, "Steps": 12},
+  "Workload": {"Requests": 8, "Pop": 0.2, "Timeliness": 2}
+}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"solve", "-config", cfgPath, "-pop", "0.4"}); err != nil {
+		t.Fatalf("solve -config: %v", err)
+	}
+	// A malformed document fails with a decode error naming the file.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"Solver": {"Damp": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"solve", "-config", bad})
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("bad config: got %v, want unknown-field error", err)
+	}
+}
+
+// TestMarketConfigFile checks `mfgcp market -config` end to end with a flag
+// override.
+func TestMarketConfigFile(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "market.json")
+	doc := fmt.Sprintf(`{
+  "Params": {"M": 8, "K": 3},
+  "Policy": "rr",
+  "Epochs": 3,
+  "StepsPerEpoch": 6,
+  "Solver": {"NH": 5, "NQ": 11, "Steps": 12}
+}`)
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// -epochs set explicitly wins over the file's 3.
+	if err := run([]string{"market", "-config", cfgPath, "-epochs", "1"}); err != nil {
+		t.Fatalf("market -config: %v", err)
+	}
+	err := run([]string{"market", "-config", cfgPath, "-policy", "lfu"})
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("unknown policy: got %v", err)
+	}
+}

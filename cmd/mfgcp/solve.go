@@ -1,22 +1,41 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	mfgcp "repro"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
+
+// solveFile is the -config document of `mfgcp solve`: the same shape as the
+// serving daemon's POST /v1/solve body, with sparse Params/Solver/Workload
+// sections merged onto the defaults.
+type solveFile struct {
+	Params   json.RawMessage `json:",omitempty"`
+	Solver   json.RawMessage `json:",omitempty"`
+	Workload json.RawMessage `json:",omitempty"`
+}
 
 // solveCmd implements `mfgcp solve`: one custom equilibrium solve with
 // parameter overrides from flags, a text summary, optional CSV dumps of the
 // strategy surface / density marginal / price path, and an optional gob
 // archive for reuse via the warm-start machinery.
+//
+// Configuration precedence: the experiment defaults, then -config FILE (a
+// JSON document shaped like the daemon's /v1/solve request), then every flag
+// set explicitly on the command line.
 func solveCmd(args []string) (retErr error) {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	configPath := fs.String("config", "", "JSON solve configuration merged over the defaults (Params/Solver/Workload)")
 	requests := fs.Float64("requests", 10, "request load |I_k| per epoch")
 	pop := fs.Float64("pop", 0.3, "content popularity Π_k in [0,1]")
 	timeliness := fs.Float64("timeliness", 2, "content timeliness L_k")
@@ -45,7 +64,25 @@ func solveCmd(args []string) (retErr error) {
 		}
 	}()
 
+	set := setFlags(fs)
+	var file solveFile
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("-config %s: %w", *configPath, err)
+		}
+	}
+
 	params := mfgcp.DefaultParams()
+	if len(file.Params) > 0 {
+		var err error
+		if params, err = engine.DecodeParams(file.Params, params); err != nil {
+			return fmt.Errorf("-config %s: %w", *configPath, err)
+		}
+	}
 	if *qk > 0 {
 		params.Qk = *qk
 		params.SigmaQ = 0.1 * *qk
@@ -59,24 +96,58 @@ func solveCmd(args []string) (retErr error) {
 	if *initMean > 0 {
 		params.InitMeanFrac = *initMean
 	}
+
 	cfg := mfgcp.DefaultSolverConfig(params)
+	if len(file.Solver) > 0 {
+		var err error
+		if cfg, err = engine.DecodeConfig(file.Solver, cfg); err != nil {
+			return fmt.Errorf("-config %s: %w", *configPath, err)
+		}
+		cfg.Params = params // explicit flag overrides win over the file
+	}
+	nhv, nqv, stepsv := cfg.NH, cfg.NQ, cfg.Steps
 	if *nh > 0 {
-		cfg.NH = *nh
+		nhv = *nh
 	}
 	if *nq > 0 {
-		cfg.NQ = *nq
+		nqv = *nq
 	}
 	if *steps > 0 {
-		cfg.Steps = *steps
+		stepsv = *steps
 	}
-	cfg.ShareEnabled = !*noShare
-	cfg.Scheme = *scheme
-	cfg.Obs = tel.Rec
+	opts := []mfgcp.SolveOption{mfgcp.WithGrid(nhv, nqv, stepsv), mfgcp.WithRecorder(tel.Rec)}
+	if *configPath == "" || set["no-share"] {
+		opts = append(opts, mfgcp.WithSharing(!*noShare))
+	}
+	if *scheme != "" {
+		opts = append(opts, mfgcp.WithScheme(*scheme))
+	}
+	cfg, err = mfgcp.ApplySolveOptions(cfg, opts...)
+	if err != nil {
+		return err
+	}
+
+	w := mfgcp.Workload{Requests: *requests, Pop: *pop, Timeliness: *timeliness}
+	if len(file.Workload) > 0 {
+		if w, err = engine.DecodeWorkload(file.Workload); err != nil {
+			return fmt.Errorf("-config %s: %w", *configPath, err)
+		}
+		if set["requests"] {
+			w.Requests = *requests
+		}
+		if set["pop"] {
+			w.Pop = *pop
+		}
+		if set["timeliness"] {
+			w.Timeliness = *timeliness
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	start := time.Now()
-	eq, err := mfgcp.SolveEquilibrium(cfg, mfgcp.Workload{
-		Requests: *requests, Pop: *pop, Timeliness: *timeliness,
-	})
+	eq, err := mfgcp.SolveEquilibriumContext(ctx, cfg, w)
 	if err != nil {
 		if eq == nil {
 			return err

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,14 +17,19 @@ func main() {
 	params.K = 6
 
 	pol := mfgcp.NewMFGCPPolicy()
-	cfg := mfgcp.DefaultMarketConfig(params, pol)
-	cfg.Epochs = 3
-	cfg.StepsPerEpoch = 30
-	cfg.Seed = 7
+	cfg, err := mfgcp.NewMarketConfig(params, pol,
+		mfgcp.WithEpochs(3),
+		mfgcp.WithStepsPerEpoch(30),
+		mfgcp.WithSeed(7),
+		mfgcp.WithEqCache(16), // reuse fixed points across epochs
+	)
+	if err != nil {
+		log.Fatalf("config: %v", err)
+	}
 
 	fmt.Printf("running %d EDPs × %d contents × %d epochs under %s...\n",
 		params.M, params.K, cfg.Epochs, pol.Name())
-	res, err := mfgcp.RunMarket(cfg)
+	res, err := mfgcp.RunMarketContext(context.Background(), cfg)
 	if err != nil {
 		log.Fatalf("market: %v", err)
 	}

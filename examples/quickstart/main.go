@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	mfgcp "repro"
 )
@@ -16,8 +18,18 @@ func main() {
 	// A popular content: 10 requesters per epoch, popularity 0.3, mid urgency.
 	workload := mfgcp.Workload{Requests: 10, Pop: 0.3, Timeliness: 2}
 
-	cfg := mfgcp.DefaultSolverConfig(params)
-	eq, err := mfgcp.SolveEquilibrium(cfg, workload)
+	// Build the solver configuration with functional options (the defaults
+	// alone also work: mfgcp.NewSolverConfig(params)).
+	cfg, err := mfgcp.NewSolverConfig(params, mfgcp.WithScheme("implicit"))
+	if err != nil {
+		log.Fatalf("config: %v", err)
+	}
+
+	// The context-first solve honours deadlines and cancellation at
+	// best-response-iteration granularity.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	eq, err := mfgcp.SolveEquilibriumContext(ctx, cfg, workload)
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

@@ -45,16 +45,19 @@ type Workload struct {
 	Timeliness float64
 }
 
-// Validate checks the workload descriptor.
+// Validate checks the workload descriptor. NaN compares false against every
+// bound, so the range guards alone would wave non-finite workloads through
+// into the solver (where they poison every iterate); reject them explicitly,
+// mirroring the config validation.
 func (w Workload) Validate() error {
-	if w.Requests < 0 {
-		return fmt.Errorf("core: workload requests must be non-negative, got %g", w.Requests)
+	if math.IsNaN(w.Requests) || math.IsInf(w.Requests, 0) || w.Requests < 0 {
+		return fmt.Errorf("core: workload requests must be non-negative and finite, got %g", w.Requests)
 	}
-	if w.Pop < 0 || w.Pop > 1 {
+	if math.IsNaN(w.Pop) || w.Pop < 0 || w.Pop > 1 {
 		return fmt.Errorf("core: workload popularity must lie in [0,1], got %g", w.Pop)
 	}
-	if w.Timeliness < 0 {
-		return fmt.Errorf("core: workload timeliness must be non-negative, got %g", w.Timeliness)
+	if math.IsNaN(w.Timeliness) || math.IsInf(w.Timeliness, 0) || w.Timeliness < 0 {
+		return fmt.Errorf("core: workload timeliness must be non-negative and finite, got %g", w.Timeliness)
 	}
 	return nil
 }

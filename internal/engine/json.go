@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/mec"
+	"repro/internal/pde"
+)
+
+// This file is the JSON codec of the solver configuration — the canonical
+// wire form shared by the serving daemon's request decoder, the CLI's
+// `-config file.json` flag and library callers. The runtime-only fields
+// (Obs, WarmStart) are deliberately excluded: a recorder and a warm-start
+// equilibrium are process-local handles, not configuration.
+//
+// Unmarshalling MERGES onto the receiver: fields absent from the JSON keep
+// the receiver's current value, so decoding a sparse document onto
+// DefaultConfig(params) yields a fully populated configuration. Unknown keys
+// are rejected (a typo in a config file or HTTP request must not silently
+// fall back to a default), and NaN/Inf can never arrive through JSON — the
+// grammar has no literal for them, and Validate rejects any that a library
+// caller constructs directly.
+
+// configJSON mirrors Config's serialisable surface.
+type configJSON struct {
+	Params         mec.Params
+	NH, NQ, Steps  int
+	MaxIters       int
+	Tol            float64
+	Damping        float64
+	BlowupResidual float64
+	FPKForm        int
+	Stepping       int
+	Scheme         string
+	ShareEnabled   bool
+	InitLambda     []float64 `json:",omitempty"`
+}
+
+func (c Config) toJSON() configJSON {
+	return configJSON{
+		Params:         c.Params,
+		NH:             c.NH,
+		NQ:             c.NQ,
+		Steps:          c.Steps,
+		MaxIters:       c.MaxIters,
+		Tol:            c.Tol,
+		Damping:        c.Damping,
+		BlowupResidual: c.BlowupResidual,
+		FPKForm:        int(c.FPKForm),
+		Stepping:       int(c.Stepping),
+		Scheme:         c.Scheme,
+		ShareEnabled:   c.ShareEnabled,
+		InitLambda:     c.InitLambda,
+	}
+}
+
+func (j configJSON) apply(c *Config) {
+	c.Params = j.Params
+	c.NH, c.NQ, c.Steps = j.NH, j.NQ, j.Steps
+	c.MaxIters = j.MaxIters
+	c.Tol = j.Tol
+	c.Damping = j.Damping
+	c.BlowupResidual = j.BlowupResidual
+	c.FPKForm = pde.FPKForm(j.FPKForm)
+	c.Stepping = pde.Stepping(j.Stepping)
+	c.Scheme = j.Scheme
+	c.ShareEnabled = j.ShareEnabled
+	c.InitLambda = j.InitLambda
+}
+
+// MarshalJSON implements json.Marshaler, emitting the serialisable subset of
+// the configuration (Obs and WarmStart are process-local and dropped).
+func (c Config) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.toJSON())
+}
+
+// UnmarshalJSON implements json.Unmarshaler with merge semantics: fields
+// absent from data keep the receiver's current values, unknown fields are an
+// error. Obs and WarmStart are preserved untouched. Callers validate the
+// merged result with Validate.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	shadow := c.toJSON()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&shadow); err != nil {
+		return fmt.Errorf("core: decode solver config: %w", err)
+	}
+	shadow.apply(c)
+	return nil
+}
+
+// DecodeConfig decodes a JSON document onto base (merge semantics) and
+// validates the result: the one entry point behind every external config
+// source — HTTP request bodies and `-config` files alike.
+func DecodeConfig(data []byte, base Config) (Config, error) {
+	cfg := base
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// DecodeParams decodes a JSON document onto base (merge semantics, unknown
+// fields rejected) and validates the merged parameter set.
+func DecodeParams(data []byte, base mec.Params) (mec.Params, error) {
+	p := base
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return mec.Params{}, fmt.Errorf("core: decode params: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return mec.Params{}, err
+	}
+	return p, nil
+}
+
+// DecodeWorkload decodes a JSON workload document (unknown fields rejected)
+// and validates it.
+func DecodeWorkload(data []byte) (Workload, error) {
+	var w Workload
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return Workload{}, fmt.Errorf("core: decode workload: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mec"
+	"repro/internal/pde"
+)
+
+// TestConfigJSONRoundTrip checks Marshal → Unmarshal reproduces every
+// serialisable field, for the default configuration and for one with every
+// knob moved off its default.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	p := mec.Default()
+	custom := DefaultConfig(p)
+	custom.NH, custom.NQ, custom.Steps = 7, 21, 48
+	custom.MaxIters = 17
+	custom.Tol = 5e-4
+	custom.Damping = 0.35
+	custom.BlowupResidual = 1e6
+	custom.FPKForm = pde.Advective
+	custom.Stepping = pde.Explicit
+	custom.Scheme = "explicit"
+	custom.ShareEnabled = false
+	custom.InitLambda = []float64{1, 2, 3}
+
+	for name, cfg := range map[string]Config{
+		"default": DefaultConfig(p),
+		"custom":  custom,
+	} {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var got Config
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, cfg) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", name, got, cfg)
+		}
+	}
+}
+
+// TestConfigJSONMerge checks that a sparse document decoded onto a populated
+// base keeps every absent field.
+func TestConfigJSONMerge(t *testing.T) {
+	base := DefaultConfig(mec.Default())
+	cfg, err := DecodeConfig([]byte(`{"NQ": 31, "Scheme": "explicit"}`), base)
+	if err != nil {
+		t.Fatalf("DecodeConfig: %v", err)
+	}
+	if cfg.NQ != 31 || cfg.Scheme != "explicit" {
+		t.Errorf("overrides not applied: NQ=%d Scheme=%q", cfg.NQ, cfg.Scheme)
+	}
+	if cfg.NH != base.NH || cfg.Tol != base.Tol || cfg.Params != base.Params {
+		t.Errorf("absent fields did not keep base values: %+v", cfg)
+	}
+	// Nested params merge too.
+	cfg, err = DecodeConfig([]byte(`{"Params": {"Qk": 80}}`), base)
+	if err != nil {
+		t.Fatalf("DecodeConfig nested: %v", err)
+	}
+	if cfg.Params.Qk != 80 || cfg.Params.M != base.Params.M {
+		t.Errorf("nested merge wrong: Qk=%g M=%d", cfg.Params.Qk, cfg.Params.M)
+	}
+}
+
+// TestConfigJSONRejection table-drives the decoder's error paths: unknown
+// keys, malformed JSON and values the PR-3 validation rejects.
+func TestConfigJSONRejection(t *testing.T) {
+	base := DefaultConfig(mec.Default())
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unknown key", `{"Damp": 0.5}`, "unknown field"},
+		{"malformed", `{"NH": }`, "invalid character"},
+		{"zero tol", `{"Tol": 0}`, "Tol"},
+		{"bad damping", `{"Damping": 1.5}`, "Damping"},
+		{"tiny grid", `{"NH": 1}`, "grid"},
+		{"negative blowup", `{"BlowupResidual": -1}`, "BlowupResidual"},
+		{"bad scheme", `{"Scheme": "upwind"}`, "scheme"},
+		{"bad params", `{"Params": {"Qk": -1}}`, "Qk"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeConfig([]byte(tc.doc), base); err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.doc)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestConfigJSONDropsRuntimeFields checks Obs/WarmStart never reach the wire
+// and survive an in-place merge untouched.
+func TestConfigJSONDropsRuntimeFields(t *testing.T) {
+	cfg := DefaultConfig(mec.Default())
+	eq := &Equilibrium{}
+	cfg.WarmStart = eq
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if strings.Contains(string(data), "WarmStart") || strings.Contains(string(data), "Obs") {
+		t.Fatalf("runtime fields leaked to the wire: %s", data)
+	}
+	if err := json.Unmarshal([]byte(`{"NH": 9}`), &cfg); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if cfg.WarmStart != eq {
+		t.Errorf("merge clobbered WarmStart")
+	}
+	if cfg.NH != 9 {
+		t.Errorf("merge missed NH: %d", cfg.NH)
+	}
+}
+
+// TestWorkloadValidationRejectsNonFinite locks the NaN/Inf hardening of the
+// workload validation (the serve layer depends on it for request rejection).
+func TestWorkloadValidationRejectsNonFinite(t *testing.T) {
+	good := Workload{Requests: 10, Pop: 0.3, Timeliness: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	bads := []Workload{
+		{Requests: math.NaN(), Pop: 0.3, Timeliness: 2},
+		{Requests: math.Inf(1), Pop: 0.3, Timeliness: 2},
+		{Requests: 10, Pop: math.NaN(), Timeliness: 2},
+		{Requests: 10, Pop: 0.3, Timeliness: math.NaN()},
+		{Requests: 10, Pop: 0.3, Timeliness: math.Inf(1)},
+		{Requests: -1, Pop: 0.3, Timeliness: 2},
+		{Requests: 10, Pop: 1.5, Timeliness: 2},
+	}
+	for _, w := range bads {
+		if err := w.Validate(); err == nil {
+			t.Errorf("invalid workload accepted: %+v", w)
+		}
+	}
+	if _, err := DecodeWorkload([]byte(`{"Requests": 10, "Pop": 0.3, "Timeless": 1}`)); err == nil {
+		t.Errorf("unknown workload field accepted")
+	}
+	w, err := DecodeWorkload([]byte(`{"Requests": 10, "Pop": 0.3, "Timeliness": 2}`))
+	if err != nil || w != good {
+		t.Errorf("DecodeWorkload = %+v, %v", w, err)
+	}
+}

@@ -9,6 +9,7 @@ package policy
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/mec"
@@ -75,6 +76,26 @@ type Policy interface {
 	// sharing (false only for the MFG baseline, which the paper defines as
 	// MFG-CP without content sharing).
 	SharingEnabled() bool
+}
+
+// ByName returns a fresh policy for its canonical (case-insensitive) name:
+// "mfg-cp", "mfg", "rr", "mpc" or "udcs". This is the single name→policy
+// mapping shared by the CLI flags, the market-config JSON codec and the
+// serving daemon.
+func ByName(name string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "mfg-cp", "mfgcp":
+		return NewMFGCP(), nil
+	case "mfg":
+		return NewMFG(), nil
+	case "rr":
+		return NewRR(), nil
+	case "mpc":
+		return NewMPC(), nil
+	case "udcs":
+		return NewUDCS(), nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (want mfg-cp, mfg, rr, mpc or udcs)", name)
 }
 
 // checkContent validates a content index against the prepared epoch.

@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mec"
+	"repro/internal/policy"
+)
+
+// maxPathSamples bounds the number of time samples in a solve response: the
+// equilibrium summary is a decision aid, not an archive, and a fixed sample
+// budget keeps response size independent of the configured time mesh.
+const maxPathSamples = 64
+
+// SolveRequest is the wire form of POST /v1/solve. Params, Solver and
+// Workload are sparse JSON documents merged onto the daemon's defaults by the
+// engine codec; TimeoutMs bounds this solve (clamped to the server maximum).
+type SolveRequest struct {
+	Params    json.RawMessage `json:",omitempty"`
+	Solver    json.RawMessage `json:",omitempty"`
+	Workload  json.RawMessage `json:",omitempty"`
+	TimeoutMs int64           `json:",omitempty"`
+}
+
+// SolveResponse summarises one mean-field equilibrium: the dynamic price path
+// p(t) (Eq. 17), the population-mean caching control and mean remaining cache
+// space, and the convergence diagnostics of the best-response iteration.
+type SolveResponse struct {
+	Converged  bool    `json:"converged"`
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+
+	Time          []float64 `json:"time"`
+	Price         []float64 `json:"price"`
+	MeanControl   []float64 `json:"mean_control"`
+	MeanRemaining []float64 `json:"mean_remaining"`
+	SharerFrac    []float64 `json:"sharer_frac"`
+}
+
+// EpochRequest is the wire form of POST /v1/policy/epoch: a batch of
+// per-content workload descriptors (one per content, length must equal
+// Params.K) for which the MFG-CP policy determines the epoch's caching
+// strategies. Policy selects "mfg-cp" (default) or the sharing-free "mfg".
+type EpochRequest struct {
+	Params    json.RawMessage   `json:",omitempty"`
+	Solver    json.RawMessage   `json:",omitempty"`
+	Policy    string            `json:",omitempty"`
+	Workloads []json.RawMessage `json:",omitempty"`
+	Epoch     int               `json:",omitempty"`
+	Seed      int64             `json:",omitempty"`
+	TimeoutMs int64             `json:",omitempty"`
+}
+
+// EpochContent is one content's prepared strategy in an epoch response.
+type EpochContent struct {
+	Content    int     `json:"content"`
+	Requested  bool    `json:"requested"`
+	Converged  bool    `json:"converged"`
+	Iterations int     `json:"iterations"`
+	FinalPrice float64 `json:"final_price"`
+	Admission  float64 `json:"admission"`
+}
+
+// EpochResponse is the wire form of a prepared epoch.
+type EpochResponse struct {
+	Policy   string         `json:"policy"`
+	Epoch    int            `json:"epoch"`
+	Contents []EpochContent `json:"contents"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/policy/epoch", s.handleEpoch)
+	if s.cfg.Registry != nil {
+		// The PR-1 observability surface, mounted on the daemon's own mux so
+		// one port serves both the API and its telemetry.
+		s.cfg.Registry.PublishExpvar("mfgcp")
+		mux.Handle("GET /metrics", s.cfg.Registry)
+		mux.Handle("GET /debug/vars", expvar.Handler())
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !s.ready.Load() || s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ready"}`)
+}
+
+// handleSolve answers one equilibrium query. Identical concurrent requests
+// coalesce onto one engine solve and receive byte-identical bodies; the
+// per-request variance (cache hit, coalesced, solver wall time) travels in
+// the X-Mfgcp-* response headers so coalescing stays observable without
+// breaking body determinism.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cfg, err := s.resolveSolver(req.Params, req.Solver)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	wl := engine.Workload{}
+	if len(req.Workload) > 0 {
+		if wl, err = engine.DecodeWorkload(req.Workload); err != nil {
+			s.writeError(w, badRequest(err))
+			return
+		}
+	}
+
+	timeout := s.clampTimeout(req.TimeoutMs)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout+time.Second)
+	defer cancel()
+	eq, out, err := s.solve(ctx, cfg, wl, timeout)
+	if err != nil && !(errors.Is(err, engine.ErrNotConverged) && eq != nil) {
+		s.writeError(w, err)
+		return
+	}
+
+	w.Header().Set("X-Mfgcp-Cache", hitMiss(out.CacheHit))
+	w.Header().Set("X-Mfgcp-Coalesced", strconv.FormatBool(out.Coalesced))
+	w.Header().Set("X-Mfgcp-Solve-Ms", strconv.FormatFloat(out.SolveTime.Seconds()*1e3, 'f', 3, 64))
+	writeJSON(w, http.StatusOK, summarize(eq))
+}
+
+// handleEpoch prepares one epoch of per-content strategies through
+// policy.MFGCP.Prepare, sharing the daemon's equilibrium cache and worker
+// budget. Concurrent epoch requests beyond the semaphore are shed with 429:
+// each one fans out into up to K solves, so admission control has to happen
+// before Prepare, not inside it.
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	var req EpochRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cfg, err := s.resolveSolver(req.Params, req.Solver)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p := cfg.Params
+	if len(req.Workloads) != p.K {
+		s.writeError(w, badRequest(fmt.Errorf("serve: %d workloads for %d contents (Workloads must cover the catalogue)", len(req.Workloads), p.K)))
+		return
+	}
+	workloads := make([]engine.Workload, p.K)
+	for k, doc := range req.Workloads {
+		wl, err := engine.DecodeWorkload(doc)
+		if err != nil {
+			s.writeError(w, badRequest(fmt.Errorf("serve: workload %d: %w", k, err)))
+			return
+		}
+		workloads[k] = wl
+	}
+	name := req.Policy
+	if name == "" {
+		name = "mfg-cp"
+	}
+	polIface, err := policy.ByName(name)
+	if err != nil {
+		s.writeError(w, badRequest(err))
+		return
+	}
+	pol, ok := polIface.(*policy.MFGCP)
+	if !ok {
+		s.writeError(w, badRequest(fmt.Errorf("serve: policy %q has no equilibrium strategy; the epoch endpoint serves mfg-cp and mfg", name)))
+		return
+	}
+
+	s.rec.Add("serve.epoch.requests", 1)
+	select {
+	case s.epochSem <- struct{}{}:
+		defer func() { <-s.epochSem }()
+	default:
+		s.rec.Add("serve.epoch.shed", 1)
+		s.writeError(w, ErrOverloaded)
+		return
+	}
+
+	catalog, err := mec.NewCatalog(p)
+	if err != nil {
+		s.writeError(w, badRequest(err))
+		return
+	}
+	for k := range catalog.Contents {
+		catalog.Contents[k].Pop = workloads[k].Pop
+		catalog.Contents[k].Timeliness = workloads[k].Timeliness
+		catalog.Contents[k].Requests = workloads[k].Requests
+	}
+	pol.Cache = s.cache
+	pol.Workers = s.cfg.Workers
+
+	ctx, cancel := context.WithTimeout(s.lifeCtx, s.clampTimeout(req.TimeoutMs))
+	defer cancel()
+	ectx := policy.EpochContext{
+		Params:    p,
+		Catalog:   catalog,
+		Workloads: workloads,
+		Solver:    cfg,
+		Epoch:     req.Epoch,
+		Seed:      req.Seed,
+		M:         p.M,
+		Ctx:       ctx,
+	}
+	s.rec.Add("serve.epoch.executed", 1)
+	start := time.Now()
+	if err := pol.Prepare(&ectx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.rec.Observe("serve.epoch.seconds", time.Since(start).Seconds())
+
+	resp := EpochResponse{Policy: pol.Name(), Epoch: req.Epoch, Contents: make([]EpochContent, p.K)}
+	for k := 0; k < p.K; k++ {
+		c := EpochContent{Content: k, Admission: 1}
+		if eq, err := pol.Equilibrium(k); err == nil && eq != nil {
+			c.Requested = true
+			c.Converged = eq.Converged
+			c.Iterations = eq.Iterations
+			if n := len(eq.Snapshots); n > 0 {
+				c.FinalPrice = eq.Snapshots[n-1].Price
+			}
+		}
+		if a, err := pol.Admission(k); err == nil {
+			c.Admission = a
+		}
+		resp.Contents[k] = c
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveSolver merges the request's sparse Params/Solver documents onto the
+// daemon defaults and wires the daemon's recorder into the resulting config.
+func (s *Server) resolveSolver(params, solver json.RawMessage) (engine.Config, error) {
+	p := s.cfg.Params
+	if len(params) > 0 {
+		var err error
+		if p, err = engine.DecodeParams(params, p); err != nil {
+			return engine.Config{}, badRequest(err)
+		}
+	}
+	cfg := s.cfg.Solver
+	cfg.Params = p
+	if len(solver) > 0 {
+		var err error
+		if cfg, err = engine.DecodeConfig(solver, cfg); err != nil {
+			return engine.Config{}, badRequest(err)
+		}
+	} else if err := cfg.Validate(); err != nil {
+		return engine.Config{}, badRequest(err)
+	}
+	cfg.Obs = s.rec
+	cfg.WarmStart = nil
+	return cfg, nil
+}
+
+// summarize downsamples an equilibrium to the wire summary.
+func summarize(eq *engine.Equilibrium) SolveResponse {
+	resp := SolveResponse{
+		Converged:  eq.Converged,
+		Iterations: eq.Iterations,
+	}
+	if n := len(eq.Residuals); n > 0 {
+		resp.Residual = eq.Residuals[n-1]
+	}
+	n := len(eq.Snapshots)
+	if n == 0 {
+		return resp
+	}
+	stride := 1
+	if n > maxPathSamples {
+		stride = (n + maxPathSamples - 1) / maxPathSamples
+	}
+	for i := 0; i < n; i += stride {
+		snap := eq.Snapshots[i]
+		resp.Time = append(resp.Time, snap.T)
+		resp.Price = append(resp.Price, snap.Price)
+		resp.MeanControl = append(resp.MeanControl, snap.MeanControl)
+		resp.MeanRemaining = append(resp.MeanRemaining, snap.QBar)
+		resp.SharerFrac = append(resp.SharerFrac, snap.SharerFrac)
+	}
+	if last := eq.Snapshots[n-1]; resp.Time[len(resp.Time)-1] != last.T {
+		resp.Time = append(resp.Time, last.T)
+		resp.Price = append(resp.Price, last.Price)
+		resp.MeanControl = append(resp.MeanControl, last.MeanControl)
+		resp.MeanRemaining = append(resp.MeanRemaining, last.QBar)
+		resp.SharerFrac = append(resp.SharerFrac, last.SharerFrac)
+	}
+	return resp
+}
+
+// requestError marks an error as the caller's fault (HTTP 400).
+type requestError struct{ err error }
+
+func (e requestError) Error() string { return e.err.Error() }
+func (e requestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return requestError{err} }
+
+// decodeBody strictly decodes a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest(fmt.Errorf("serve: decode request: %w", err))
+	}
+	return nil
+}
+
+// writeError maps an error onto the uniform envelope:
+//
+//	400 invalid_request — malformed or invalid request documents
+//	429 overloaded      — queue full, retry after backoff
+//	422 diverged        — the best-response iteration produced garbage
+//	504 interrupted     — deadline or shutdown cancelled the solve
+//	500 internal        — anything else
+//
+// ErrNotConverged is not an error at this layer: the partial equilibrium is
+// returned as a 200 with converged=false.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	kind, status := "internal", http.StatusInternalServerError
+	var reqErr requestError
+	switch {
+	case errors.As(err, &reqErr):
+		kind, status = "invalid_request", http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		kind, status = "overloaded", http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, engine.ErrDiverged):
+		kind, status = "diverged", http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		kind, status = "interrupted", http.StatusGatewayTimeout
+	}
+	var body errorBody
+	body.Error.Kind = kind
+	body.Error.Message = err.Error()
+	writeJSON(w, status, body)
+}
+
+// writeJSON writes one JSON response, buffered so an encode failure cannot
+// truncate a 200.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, `{"error":{"kind":"internal","message":"encode response"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}

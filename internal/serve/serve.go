@@ -1,0 +1,367 @@
+// Package serve is the equilibrium-serving daemon behind `mfgcp serve`: a
+// long-running HTTP/JSON service that answers repeated mean-field equilibrium
+// queries for drifting workloads — the workload the ROADMAP's "millions of
+// users" north star implies, where SBS controllers re-solve the HJB–FPK fixed
+// point continuously as popularity drifts instead of spawning one process per
+// solve.
+//
+// The hot path amortises everything the engine layer built for exactly this
+// purpose:
+//
+//   - a shared bounded engine.Cache: a warm repeat of a solved (params,
+//     workload, grid, scheme) key answers without touching the solver;
+//   - per-worker engine.Sessions behind a bounded worker pool, so steady
+//     traffic runs on pre-allocated PDE workspaces;
+//   - singleflight coalescing: concurrent identical requests share one solve
+//     (the mean-field equilibrium is unique, so one answer serves them all);
+//   - load shedding: a full queue answers 429 + Retry-After instead of
+//     building an unbounded backlog;
+//   - per-request deadlines mapped onto engine.SolveContext, and graceful
+//     drain: SIGTERM stops accepting work, finishes the in-flight requests
+//     and exits cleanly.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mec"
+	"repro/internal/obs"
+)
+
+// ErrOverloaded is returned (and mapped to HTTP 429) when the solver queue is
+// full: the caller should retry after a short backoff.
+var ErrOverloaded = errors.New("serve: solver queue full")
+
+// Config parametrises the daemon.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:8080"; use ":0" in
+	// tests to pick a free port).
+	Addr string
+	// Workers bounds the solver worker pool (default GOMAXPROCS). Each
+	// worker owns reusable engine sessions, so memory scales with
+	// Workers × distinct grid configurations.
+	Workers int
+	// QueueDepth bounds the pending-solve queue; a full queue sheds load
+	// with 429 (default 64).
+	QueueDepth int
+	// CacheSize bounds the shared equilibrium cache (default 256 entries).
+	CacheSize int
+	// DefaultTimeout bounds one solve when the request carries no
+	// timeout_ms (default 30s); MaxTimeout caps what a request may ask for
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DrainTimeout bounds the graceful drain: in-flight requests get this
+	// long to finish after shutdown begins before their solves are
+	// cancelled (default 30s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Params are the default model constants requests merge onto (zero
+	// value → mec.Default()).
+	Params mec.Params
+	// Solver is the default solver configuration requests merge onto (zero
+	// value → engine.DefaultConfig(Params)).
+	Solver engine.Config
+	// Obs receives the serve.* metrics and, through the solver configs, the
+	// engine.* and core.solver.* telemetry. Nil means no-op.
+	Obs obs.Recorder
+	// Registry, when set, additionally mounts /metrics, /debug/vars and
+	// /debug/pprof on the daemon's mux (the PR-1 observability surface).
+	Registry *obs.Registry
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Params.K == 0 && c.Params.M == 0 {
+		c.Params = mec.Default()
+	}
+	if c.Solver.NH == 0 && c.Solver.NQ == 0 {
+		c.Solver = engine.DefaultConfig(c.Params)
+	}
+	return c
+}
+
+// Server is the daemon state: the shared equilibrium cache, the bounded
+// worker pool and the singleflight table of in-flight solves.
+type Server struct {
+	cfg   Config
+	rec   obs.Recorder
+	cache *engine.Cache
+
+	jobs     chan *flight
+	mu       sync.Mutex
+	inflight map[string]*flight
+	epochSem chan struct{}
+
+	// lifeCtx outlives the run context so SIGTERM drains in-flight solves
+	// instead of cancelling them; lifeCancel fires only when the drain
+	// budget is exhausted (or the server is fully stopped).
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+
+	ready    atomic.Bool
+	draining atomic.Bool
+	workerWG sync.WaitGroup
+}
+
+// New validates the configuration and builds a server (not yet listening;
+// call Run or Serve).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: default params: %w", err)
+	}
+	if cfg.Solver.Params != cfg.Params {
+		cfg.Solver.Params = cfg.Params
+	}
+	if err := cfg.Solver.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: default solver config: %w", err)
+	}
+	cache, err := engine.NewCache(cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	epochSlots := cfg.Workers / 2
+	if epochSlots < 1 {
+		epochSlots = 1
+	}
+	lifeCtx, lifeCancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		rec:        obs.OrNop(cfg.Obs),
+		cache:      cache,
+		jobs:       make(chan *flight, cfg.QueueDepth),
+		inflight:   make(map[string]*flight),
+		epochSem:   make(chan struct{}, epochSlots),
+		lifeCtx:    lifeCtx,
+		lifeCancel: lifeCancel,
+	}, nil
+}
+
+// Cache exposes the shared equilibrium cache (tests and the epoch handler
+// use it).
+func (s *Server) Cache() *engine.Cache { return s.cache }
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then drains.
+// The returned error is nil on a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve runs the daemon on an existing listener until ctx is cancelled, then
+// drains: the HTTP server stops accepting work, in-flight requests (and their
+// queued solves) get DrainTimeout to finish, and only past that budget are
+// the remaining solves cancelled. Returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	s.ready.Store(true)
+	s.rec.Gauge("serve.ready", 1)
+
+	select {
+	case err := <-errCh:
+		s.stop()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: flip readiness first so load balancers stop routing here, then
+	// let the in-flight handlers (and the solves they wait on) finish.
+	s.draining.Store(true)
+	s.ready.Store(false)
+	s.rec.Gauge("serve.ready", 0)
+	s.rec.Add("serve.drains", 1)
+	kill := time.AfterFunc(s.cfg.DrainTimeout, s.lifeCancel)
+	defer kill.Stop()
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	s.stop()
+	if err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	return nil
+}
+
+// stop closes the solver pool and releases the life context. Idempotent via
+// the draining flag only for the drain path; Serve calls it exactly once.
+func (s *Server) stop() {
+	close(s.jobs)
+	s.workerWG.Wait()
+	s.lifeCancel()
+}
+
+// flight is one in-flight equilibrium solve, shared by every request whose
+// canonical key matches while it runs (singleflight).
+type flight struct {
+	key     string
+	cfg     engine.Config
+	w       engine.Workload
+	timeout time.Duration
+
+	done      chan struct{}
+	eq        *engine.Equilibrium
+	err       error
+	solveTime time.Duration
+}
+
+// solveOutcome annotates a solve result with how it was obtained; the
+// handlers surface it through response headers so identical requests keep
+// byte-identical bodies.
+type solveOutcome struct {
+	CacheHit  bool
+	Coalesced bool
+	SolveTime time.Duration
+}
+
+// solve answers one equilibrium query through the cache → singleflight →
+// worker-pool ladder. cfg must already be validated; ctx bounds only this
+// caller's wait (the solve itself runs under the flight's own deadline so one
+// impatient client cannot poison the shared result).
+func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload, timeout time.Duration) (*engine.Equilibrium, solveOutcome, error) {
+	s.rec.Add("serve.solve.requests", 1)
+	key := engine.CacheKey(cfg, w)
+	if eq, ok := s.cache.Get(s.rec, key); ok {
+		return eq, solveOutcome{CacheHit: true}, nil
+	}
+
+	s.mu.Lock()
+	f, joined := s.inflight[key]
+	if !joined {
+		f = &flight{key: key, cfg: cfg, w: w, timeout: timeout, done: make(chan struct{})}
+		select {
+		case s.jobs <- f:
+			s.inflight[key] = f
+		default:
+			s.mu.Unlock()
+			s.rec.Add("serve.solve.shed", 1)
+			return nil, solveOutcome{}, ErrOverloaded
+		}
+	}
+	s.mu.Unlock()
+	if joined {
+		s.rec.Add("serve.solve.coalesced", 1)
+	}
+
+	select {
+	case <-f.done:
+		return f.eq, solveOutcome{Coalesced: joined, SolveTime: f.solveTime}, f.err
+	case <-ctx.Done():
+		s.rec.Add("serve.solve.abandoned", 1)
+		return nil, solveOutcome{Coalesced: joined}, fmt.Errorf("serve: request abandoned: %w", ctx.Err())
+	}
+}
+
+// maxSessionsPerWorker bounds the per-worker session memo: serving traffic
+// overwhelmingly repeats a handful of grid configurations, and a session's
+// buffers are the dominant per-config cost.
+const maxSessionsPerWorker = 4
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	sessions := make(map[string]*engine.Session, maxSessionsPerWorker)
+	for f := range s.jobs {
+		s.runFlight(f, sessions)
+	}
+}
+
+// runFlight executes one coalesced solve on this worker's warm session and
+// publishes the result to every waiter.
+func (s *Server) runFlight(f *flight, sessions map[string]*engine.Session) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, f.key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+
+	// One session per distinct solver configuration: the workload varies per
+	// solve, the buffers do not.
+	skey := engine.CacheKey(f.cfg, engine.Workload{})
+	sess := sessions[skey]
+	if sess == nil {
+		if len(sessions) >= maxSessionsPerWorker {
+			clear(sessions)
+			s.rec.Add("serve.session.reset", 1)
+		}
+		var err error
+		sess, err = engine.NewSession(f.cfg)
+		if err != nil {
+			f.err = err
+			return
+		}
+		sessions[skey] = sess
+		s.rec.Add("serve.session.built", 1)
+	}
+
+	ctx := s.lifeCtx
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	s.rec.Add("serve.solve.executed", 1)
+	start := time.Now()
+	eq, err := sess.SolveContext(ctx, f.w, nil)
+	f.solveTime = time.Since(start)
+	s.rec.Observe("serve.solve.seconds", f.solveTime.Seconds())
+	f.eq, f.err = eq, err
+	if err == nil && eq != nil && eq.Converged {
+		s.cache.Put(s.rec, f.key, eq)
+	}
+}
+
+// clampTimeout resolves a request's timeout_ms against the server bounds.
+func (s *Server) clampTimeout(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}

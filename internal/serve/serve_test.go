@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mec"
+	"repro/internal/obs"
+)
+
+// testConfig returns a server configuration on a deliberately small grid so
+// one solve costs milliseconds, with a registry to assert metrics against.
+func testConfig(t *testing.T) (Config, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry(nil)
+	p := mec.Default()
+	solver := engine.DefaultConfig(p)
+	solver.NH, solver.NQ, solver.Steps = 7, 15, 24
+	return Config{
+		Addr:           "127.0.0.1:0",
+		Workers:        2,
+		QueueDepth:     128,
+		DefaultTimeout: 20 * time.Second,
+		DrainTimeout:   20 * time.Second,
+		Params:         p,
+		Solver:         solver,
+		Obs:            reg,
+		Registry:       reg,
+	}, reg
+}
+
+func postSolve(t *testing.T, client *http.Client, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/solve: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+// TestSolveCoalescing is the tentpole acceptance check: 64 concurrent
+// identical solve requests must produce exactly one engine solve (the rest
+// coalesce onto the in-flight computation or hit the cache) and byte-identical
+// response bodies.
+func TestSolveCoalescing(t *testing.T) {
+	cfg, reg := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	t.Cleanup(func() { cancel(); <-done })
+	base := "http://" + ln.Addr().String()
+
+	const n = 64
+	body := `{"Workload": {"Requests": 12, "Pop": 0.25, "Timeliness": 3}}`
+	bodies := make([][]byte, n)
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := postSolve(t, http.DefaultClient, base, body)
+			statuses[i] = resp.StatusCode
+			bodies[i] = data
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d: body differs from request 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(bodies[0], &resp); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if !resp.Converged || len(resp.Price) == 0 || len(resp.Time) != len(resp.Price) {
+		t.Errorf("implausible equilibrium summary: %+v", resp)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.solve.executed"]; got != 1 {
+		t.Errorf("serve.solve.executed = %g, want exactly 1 (coalescing failed)", got)
+	}
+	if got := snap.Counters["serve.solve.requests"]; got != n {
+		t.Errorf("serve.solve.requests = %g, want %d", got, n)
+	}
+	joined := snap.Counters["serve.solve.coalesced"] + snap.Counters["engine.cache.hit"]
+	if joined != n-1 {
+		t.Errorf("coalesced+cache hits = %g, want %d", joined, n-1)
+	}
+
+	// A warm repeat answers from the cache without re-solving.
+	resp2, data2 := postSolve(t, http.DefaultClient, base, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm repeat: status %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(data2, bodies[0]) {
+		t.Errorf("warm repeat body differs")
+	}
+	if got := resp2.Header.Get("X-Mfgcp-Cache"); got != "hit" {
+		t.Errorf("warm repeat X-Mfgcp-Cache = %q, want hit", got)
+	}
+	if got := reg.Snapshot().Counters["serve.solve.executed"]; got != 1 {
+		t.Errorf("warm repeat re-solved: serve.solve.executed = %g", got)
+	}
+}
+
+// TestLoadShedding fills the queue with no workers draining it and checks the
+// overflow request is shed with 429 + Retry-After instead of queuing.
+func TestLoadShedding(t *testing.T) {
+	cfg, reg := testConfig(t)
+	cfg.QueueDepth = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Serve(): the worker pool never starts, so the first enqueued flight
+	// sits in the queue deterministically.
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := http.Post(ts.URL+"/v1/solve", "application/json",
+			strings.NewReader(`{"TimeoutMs": 200, "Workload": {"Requests": 5, "Pop": 0.1}}`))
+		code := 0
+		if resp != nil {
+			code = resp.StatusCode
+			resp.Body.Close()
+		}
+		first <- code
+	}()
+	// Wait until the first request occupies the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counters["serve.solve.requests"] < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never enqueued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, data := postSolve(t, http.DefaultClient, ts.URL, `{"Workload": {"Requests": 5, "Pop": 0.2}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d body %s, want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Kind != "overloaded" {
+		t.Errorf("shed body = %s, want kind overloaded", data)
+	}
+	if got := reg.Snapshot().Counters["serve.solve.shed"]; got != 1 {
+		t.Errorf("serve.solve.shed = %g, want 1", got)
+	}
+	// The queued request eventually abandons its wait (no workers) and maps
+	// onto the interrupted kind.
+	if code := <-first; code != http.StatusGatewayTimeout {
+		t.Errorf("abandoned queued request: status %d, want 504", code)
+	}
+}
+
+// TestDeadlineInterrupted maps a per-request deadline expiring mid-solve onto
+// the structured 504 "interrupted" error.
+func TestDeadlineInterrupted(t *testing.T) {
+	cfg, _ := testConfig(t)
+	// A grid large enough that one best-response iteration costs well over
+	// the 1 ms deadline, and a tolerance it cannot reach.
+	cfg.Solver.NH, cfg.Solver.NQ, cfg.Solver.Steps = 21, 81, 200
+	cfg.Solver.Tol = 1e-12
+	cfg.MaxTimeout = time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	t.Cleanup(func() { cancel(); <-done })
+
+	resp, data := postSolve(t, http.DefaultClient, "http://"+ln.Addr().String(),
+		`{"TimeoutMs": 60000, "Workload": {"Requests": 40, "Pop": 0.8, "Timeliness": 4}}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d body %s, want 504", resp.StatusCode, data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatalf("decode error body: %v (%s)", err, data)
+	}
+	if eb.Error.Kind != "interrupted" {
+		t.Errorf("error kind %q, want interrupted (%s)", eb.Error.Kind, data)
+	}
+}
+
+// TestGracefulDrain cancels the serve context (the SIGTERM path) while a
+// solve is in flight and checks the request still completes and Serve returns
+// nil — the exit-0 contract of `mfgcp serve`.
+func TestGracefulDrain(t *testing.T) {
+	cfg, reg := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		code int
+		body []byte
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/solve", "application/json",
+			strings.NewReader(`{"Workload": {"Requests": 9, "Pop": 0.3, "Timeliness": 2}}`))
+		if err != nil {
+			resCh <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		resCh <- result{resp.StatusCode, data}
+	}()
+	// Wait until the solve is actually executing, then pull the plug.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Snapshot().Counters["serve.solve.executed"] < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("solve never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+
+	res := <-resCh
+	if res.code != http.StatusOK {
+		t.Errorf("in-flight request during drain: status %d body %s, want 200", res.code, res.body)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(cfg.DrainTimeout + 5*time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Errorf("listener still accepting after drain")
+	}
+	if got := reg.Snapshot().Counters["serve.drains"]; got != 1 {
+		t.Errorf("serve.drains = %g, want 1", got)
+	}
+}
+
+// TestRequestValidation drives the 400 path: unknown top-level keys, unknown
+// solver keys and non-finite-rejecting workload validation.
+func TestRequestValidation(t *testing.T) {
+	cfg, _ := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	cases := []struct {
+		name, body, want string
+	}{
+		{"unknown top-level key", `{"Grid": 5}`, "unknown field"},
+		{"unknown solver key", `{"Solver": {"Damp": 0.5}}`, "unknown field"},
+		{"invalid solver value", `{"Solver": {"Tol": -1}}`, "Tol"},
+		{"invalid params", `{"Params": {"Qk": -3}}`, "Qk"},
+		{"invalid workload", `{"Workload": {"Pop": 1.7}}`, "popularity"},
+	}
+	for _, tc := range cases {
+		resp, data := postSolve(t, http.DefaultClient, ts.URL, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, data)
+			continue
+		}
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Kind != "invalid_request" {
+			t.Errorf("%s: body %s, want kind invalid_request", tc.name, data)
+		}
+		if !strings.Contains(eb.Error.Message, tc.want) {
+			t.Errorf("%s: message %q does not mention %q", tc.name, eb.Error.Message, tc.want)
+		}
+	}
+}
+
+// TestEpochEndpoint prepares one epoch through the daemon and checks the
+// per-content strategies and the cache sharing with /v1/solve.
+func TestEpochEndpoint(t *testing.T) {
+	cfg, reg := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	t.Cleanup(func() { cancel(); <-done })
+	base := "http://" + ln.Addr().String()
+
+	k := 4
+	var workloads []string
+	for i := 0; i < k; i++ {
+		req := 0.0
+		if i < 2 {
+			req = float64(5 + i) // only the first two contents are requested
+		}
+		workloads = append(workloads, fmt.Sprintf(`{"Requests": %g, "Pop": %g, "Timeliness": 2}`, req, 0.1+0.1*float64(i)))
+	}
+	body := fmt.Sprintf(`{"Params": {"K": %d, "M": 50}, "Workloads": [%s], "Epoch": 1, "Seed": 7}`,
+		k, strings.Join(workloads, ","))
+	resp, data := postSolve2(t, base+"/v1/policy/epoch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch: status %d body %s", resp.StatusCode, data)
+	}
+	var er EpochResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatalf("decode epoch response: %v", err)
+	}
+	if er.Policy != "MFG-CP" || len(er.Contents) != k {
+		t.Fatalf("epoch response %+v", er)
+	}
+	for i, c := range er.Contents {
+		wantRequested := i < 2
+		if c.Requested != wantRequested {
+			t.Errorf("content %d: requested %v, want %v", i, c.Requested, wantRequested)
+		}
+		if wantRequested && !c.Converged {
+			t.Errorf("content %d: did not converge", i)
+		}
+	}
+	if got := reg.Snapshot().Counters["serve.epoch.executed"]; got != 1 {
+		t.Errorf("serve.epoch.executed = %g, want 1", got)
+	}
+	if s.Cache().Len() == 0 {
+		t.Errorf("epoch solves did not populate the shared cache")
+	}
+
+	// Workload count mismatch is a 400.
+	resp, data = postSolve2(t, base+"/v1/policy/epoch", `{"Workloads": [{"Requests": 1}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short workloads: status %d body %s, want 400", resp.StatusCode, data)
+	}
+	// Non-MFG policies have no equilibrium strategy to serve.
+	resp, data = postSolve2(t, base+"/v1/policy/epoch",
+		fmt.Sprintf(`{"Policy": "rr", "Params": {"K": %d}, "Workloads": [%s]}`, k, strings.Join(workloads, ",")))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("rr policy: status %d body %s, want 400", resp.StatusCode, data)
+	}
+}
+
+func postSolve2(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+// TestHealthEndpoints checks the liveness/readiness split and the metrics
+// mount.
+func TestHealthEndpoints(t *testing.T) {
+	cfg, _ := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	// Readiness flips only once Serve runs; a bare handler is not ready.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before Serve: %v %v, want 503", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/mec"
+	"repro/internal/policy"
+	"repro/internal/resilience"
+)
+
+// TestMarketConfigJSONRoundTrip checks Marshal → Unmarshal reproduces the
+// serialisable market configuration, including the policy (by name), the
+// nested solver config and the resilience blocks.
+func TestMarketConfigJSONRoundTrip(t *testing.T) {
+	p := mec.Default()
+	p.M, p.K = 12, 4
+	pol, err := policy.ByName("mfg-cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(p, pol)
+	cfg.Epochs = 5
+	cfg.StepsPerEpoch = 17
+	cfg.Seed = 9
+	cfg.EqCacheSize = 8
+	cfg.ExactInterference = true
+	cfg.Requesters = RequesterConfig{J: 30, Speed: 5, RequestsPerRequester: 2, TimelinessNoise: 0.5}
+	cfg.Faults = &FaultPlan{Seed: 7, EDPChurn: 0.1, DropShare: 0.2, SolverFail: 0.1, ErrorBudget: 3}
+	ladder := resilience.DefaultEscalation()
+	cfg.Recovery = &ladder
+	cfg.Checkpoint = CheckpointConfig{Dir: "/tmp/ck", Every: 2}
+	cfg.Solver.NQ = 21
+
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	base := DefaultConfig(mec.Default(), nil)
+	got, err := DecodeConfig(data, base)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Policy == nil || got.Policy.Name() != "MFG-CP" {
+		t.Fatalf("policy not restored: %v", got.Policy)
+	}
+	if got.Params != cfg.Params || got.Epochs != cfg.Epochs || got.StepsPerEpoch != cfg.StepsPerEpoch ||
+		got.Seed != cfg.Seed || got.EqCacheSize != cfg.EqCacheSize || !got.ExactInterference ||
+		got.Requesters != cfg.Requesters || got.Checkpoint != cfg.Checkpoint ||
+		got.Solver.NQ != 21 {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, cfg)
+	}
+	if got.Faults == nil || *got.Faults != *cfg.Faults {
+		t.Errorf("fault plan mismatch: %+v", got.Faults)
+	}
+	if got.Recovery == nil || *got.Recovery != *cfg.Recovery {
+		t.Errorf("recovery ladder mismatch: %+v", got.Recovery)
+	}
+}
+
+// TestMarketConfigJSONMergeAndRejection checks the merge semantics and the
+// decoder's rejection paths (unknown keys, unknown policies, invalid values).
+func TestMarketConfigJSONMergeAndRejection(t *testing.T) {
+	base := DefaultConfig(mec.Default(), policy.NewRR())
+	cfg, err := DecodeConfig([]byte(`{"Epochs": 7, "Policy": "udcs"}`), base)
+	if err != nil {
+		t.Fatalf("merge decode: %v", err)
+	}
+	if cfg.Epochs != 7 || cfg.Policy.Name() != "UDCS" {
+		t.Errorf("overrides not applied: epochs=%d policy=%s", cfg.Epochs, cfg.Policy.Name())
+	}
+	if cfg.StepsPerEpoch != base.StepsPerEpoch || cfg.Area != base.Area {
+		t.Errorf("absent fields did not keep base values: %+v", cfg)
+	}
+	// Absent policy name keeps the base instance.
+	cfg, err = DecodeConfig([]byte(`{"Seed": 3}`), base)
+	if err != nil {
+		t.Fatalf("merge decode: %v", err)
+	}
+	if cfg.Policy != base.Policy {
+		t.Errorf("absent policy name replaced the instance")
+	}
+
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unknown key", `{"Epoch": 3}`, "unknown field"},
+		{"unknown policy", `{"Policy": "lfu"}`, "unknown policy"},
+		{"bad epochs", `{"Epochs": 0}`, "Epochs"},
+		{"bad solver", `{"Solver": {"Tol": -1}}`, "Tol"},
+		{"bad fault plan", `{"Faults": {"EDPChurn": 2}}`, "probability"},
+		{"bad requesters", `{"Requesters": {"J": -1}}`, "requester"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeConfig([]byte(tc.doc), base); err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.doc)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -78,9 +78,25 @@ type Rollout = core.Rollout
 var ErrNotConverged = core.ErrNotConverged
 
 // SolveEquilibrium runs the iterative best-response learning scheme
-// (Algorithm 2) to the unique mean-field equilibrium (Theorem 2).
+// (Algorithm 2) to the unique mean-field equilibrium (Theorem 2). It is
+// SolveEquilibriumContext under context.Background(); prefer the context form
+// in servers and long-running jobs so deadlines and cancellation reach the
+// solver.
 func SolveEquilibrium(cfg SolverConfig, w Workload) (*Equilibrium, error) {
-	return core.Solve(cfg, w)
+	return SolveEquilibriumContext(context.Background(), cfg, w)
+}
+
+// SolveEquilibriumContext is the context-first equilibrium solve: ctx is
+// checked at best-response-iteration granularity, so cancellation and
+// deadlines abort the computation promptly. On non-convergence the partial
+// equilibrium is returned with ErrNotConverged; on cancellation the error
+// wraps ctx.Err().
+func SolveEquilibriumContext(ctx context.Context, cfg SolverConfig, w Workload) (*Equilibrium, error) {
+	s, err := core.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.SolveContext(ctx, w, nil)
 }
 
 // OptimalControl is the closed-form caching rate of Theorem 1 (Eq. 21) as a
@@ -119,6 +135,12 @@ func NewMPCPolicy() Policy { return policy.NewMPC() }
 // NewUDCSPolicy returns the Ultra-Dense Caching Strategy baseline.
 func NewUDCSPolicy() Policy { return policy.NewUDCS() }
 
+// PolicyByName returns a fresh policy for its canonical (case-insensitive)
+// name: "mfg-cp", "mfg", "rr", "mpc" or "udcs". It is the single name→policy
+// mapping shared by the CLI flags, the market-config JSON codec and the
+// serving daemon.
+func PolicyByName(name string) (Policy, error) { return policy.ByName(name) }
+
 // MarketConfig parametrises an agent-based market simulation (Algorithm 1).
 type MarketConfig = sim.Config
 
@@ -133,7 +155,11 @@ type Ledger = sim.Ledger
 // experiments.
 func DefaultMarketConfig(p Params, pol Policy) MarketConfig { return sim.DefaultConfig(p, pol) }
 
-// RunMarket executes a market simulation.
+// RunMarket executes a market simulation, honouring cfg.Context when set.
+//
+// Deprecated: use RunMarketContext, which makes the cancellation scope
+// explicit at the call site. RunMarket remains a thin wrapper and will not be
+// removed, but new code should pass the context as an argument.
 func RunMarket(cfg MarketConfig) (*MarketResult, error) { return sim.Run(cfg) }
 
 // RunMarketContext executes a market simulation under ctx: cancellation and
@@ -164,6 +190,10 @@ var ErrFaultBudgetExceeded = sim.ErrBudgetExceeded
 // MarketCheckpointConfig configures atomic epoch-boundary snapshots and
 // bit-for-bit resume of a market run (see MarketConfig.Checkpoint).
 type MarketCheckpointConfig = sim.CheckpointConfig
+
+// RequesterConfig parametrises the mobile-requester population of a market
+// run (see MarketConfig.Requesters).
+type RequesterConfig = sim.RequesterConfig
 
 // RecoveryEscalation is the bounded divergence-recovery ladder applied to
 // failing equilibrium solves (see MarketConfig.Recovery): deeper damping, a
@@ -196,8 +226,21 @@ type ExperimentReport = experiments.Report
 // table2).
 func ExperimentIDs() []string { return experiments.IDs() }
 
-// RunExperiment regenerates one of the paper's figures or tables.
+// RunExperiment regenerates one of the paper's figures or tables, honouring
+// opt.Context when set. It is RunExperimentContext under
+// context.Background().
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
+	return RunExperimentContext(context.Background(), id, opt)
+}
+
+// RunExperimentContext regenerates one of the paper's figures or tables under
+// ctx: the market epoch loops and equilibrium solves inside the experiment
+// abort promptly on cancellation or deadline. An explicit opt.Context takes
+// precedence over ctx.
+func RunExperimentContext(ctx context.Context, id string, opt ExperimentOptions) (*ExperimentReport, error) {
+	if opt.Context == nil {
+		opt.Context = ctx
+	}
 	return experiments.Run(id, opt)
 }
 
