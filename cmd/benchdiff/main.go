@@ -1,0 +1,82 @@
+// Command benchdiff compares `go test -bench` output against the stored
+// baseline (BENCH_baseline.json), flagging ns/op regressions beyond a
+// relative threshold.
+//
+// Usage:
+//
+//	go test -run xxx -bench . ./... | benchdiff -baseline BENCH_baseline.json
+//	benchdiff -baseline BENCH_baseline.json bench-output.txt
+//	go test -run xxx -bench . . | benchdiff -baseline BENCH_baseline.json -update
+//
+// benchdiff exits 1 when a benchmark slowed by more than -threshold (or
+// vanished from the run). The CI bench job runs it with continue-on-error:
+// cross-host timing variance makes the comparison advisory, not a gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+	threshold := fs.Float64("threshold", 0.15, "relative ns/op slowdown that flags a regression")
+	update := fs.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	note := fs.String("note", "", "provenance note stored with -update")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("threshold must be positive, got %g", *threshold)
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := benchcmp.Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+
+	if *update {
+		if err := benchcmp.NewBaseline(*note, current).Write(*baselinePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "baseline %s updated with %d benchmarks\n", *baselinePath, len(current))
+		return nil
+	}
+
+	base, err := benchcmp.LoadBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	deltas := benchcmp.Compare(base, current, *threshold)
+	benchcmp.Format(stdout, deltas)
+	if regs := benchcmp.Regressions(deltas); len(regs) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% (advisory: re-run or compare on the baseline host class)",
+			len(regs), 100**threshold)
+	}
+	fmt.Fprintln(stdout, "no regressions beyond threshold")
+	return nil
+}

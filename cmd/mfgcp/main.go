@@ -29,6 +29,11 @@
 // `mfgcp serve` runs the long-running equilibrium-serving daemon (HTTP/JSON:
 // POST /v1/solve, POST /v1/policy/epoch, /healthz, /readyz); see
 // `mfgcp serve -h` and the README's Serving section.
+//
+// `mfgcp verify` runs the numerical verification suite (invariant oracles,
+// cross-scheme differential tests, convergence-order estimation, property
+// sweep) and exits non-zero on any violation; see `mfgcp verify -h` and the
+// README's Verifying section.
 package main
 
 import (
@@ -69,6 +74,8 @@ func run(args []string) (retErr error) {
 		return marketCmd(args[1:])
 	case "serve":
 		return serveCmd(args[1:])
+	case "verify":
+		return verifyCmd(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -174,6 +181,7 @@ usage:
   mfgcp solve [flags]        solve one custom equilibrium (see solve -h)
   mfgcp market [flags]       run one agent-based market (see market -h)
   mfgcp serve [flags]        run the equilibrium-serving daemon (see serve -h)
+  mfgcp verify [flags]       run the numerical verification suite (see verify -h)
 
 flags:
   -quick              fast smoke run (smaller grids and populations)

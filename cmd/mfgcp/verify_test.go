@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestVerifySubcommandQuick(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := run([]string{"verify", "-quick", "-cases", "1", "-out", out}); err != nil {
+		t.Fatalf("verify -quick failed on the defaults: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var report struct {
+		Tier   string `json:"tier"`
+		Passed bool   `json:"passed"`
+		Checks []struct {
+			Name string `json:"name"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Tier != "quick" || !report.Passed || len(report.Checks) == 0 {
+		t.Fatalf("unexpected report: %+v", report)
+	}
+}
+
+// TestVerifySubcommandBrokenToleranceExitsNonZero is the acceptance check:
+// with a -config that tightens the scheme tolerance below the integrators'
+// genuine O(dt) gap, `mfgcp verify` must report failure (main maps the
+// returned error to exit status 1).
+func TestVerifySubcommandBrokenToleranceExitsNonZero(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "broken.json")
+	cfg := `{"Tolerances": {"SchemeTol": 1e-9, "DensityTol": 1e-9}}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"verify", "-cases", "1", "-config", cfgPath})
+	if err == nil {
+		t.Fatal("verify with a tolerance below the real scheme gap must fail")
+	}
+}
+
+func TestVerifySubcommandConfigOverrides(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "cfg.json")
+	cfg := `{
+		"Params":     {"Eta2": 1.5},
+		"Solver":     {"Steps": 48},
+		"Workload":   {"Requests": 12, "Pop": 0.4, "Timeliness": 1},
+		"Tolerances": {"SchemeTol": 0.05}
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-cases", "1", "-config", cfgPath}); err != nil {
+		t.Fatalf("verify with sparse config overrides: %v", err)
+	}
+}
+
+func TestVerifySubcommandFlagErrors(t *testing.T) {
+	if err := run([]string{"verify", "-quick", "-full"}); err == nil {
+		t.Error("-quick and -full together must error")
+	}
+	if err := run([]string{"verify", "-config", "/does/not/exist.json"}); err == nil {
+		t.Error("missing config file must error")
+	}
+	if err := run([]string{"verify", "-no-such-flag"}); err == nil {
+		t.Error("unknown flag must error")
+	}
+
+	cfgPath := filepath.Join(t.TempDir(), "unknown.json")
+	if err := os.WriteFile(cfgPath, []byte(`{"Tolernces": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-config", cfgPath}); err == nil {
+		t.Error("unknown config field must error")
+	}
+}

@@ -1,0 +1,194 @@
+// Package benchcmp parses `go test -bench` output and compares it against a
+// stored baseline (BENCH_baseline.json at the repository root), flagging
+// per-benchmark ns/op movements beyond a relative threshold. It is the
+// library behind the `benchdiff` tool and the informational CI bench job:
+// machine variance makes absolute times meaningless across hosts, so the
+// comparison is advisory — a flagged regression asks for a human look, it
+// does not fail the build.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line: name (with the
+// trailing -GOMAXPROCS tag), iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// Parse extracts benchmark results from `go test -bench` output, tolerating
+// the interleaved non-benchmark lines (goos/goarch headers, PASS, ok). The
+// -GOMAXPROCS suffix is stripped so baselines compare across machines.
+// Repeated runs of one benchmark keep the fastest ns/op (the conventional
+// noise-robust summary for regression checks).
+func Parse(r io.Reader) ([]Result, error) {
+	byName := make(map[string]Result)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: %s: bad value %q: %w", res.Name, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if res.NsPerOp == 0 {
+			continue // metric-only lines (custom units) are not comparable
+		}
+		if prev, ok := byName[res.Name]; !ok {
+			byName[res.Name] = res
+			order = append(order, res.Name)
+		} else if res.NsPerOp < prev.NsPerOp {
+			byName[res.Name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, byName[name])
+	}
+	return out, nil
+}
+
+// Baseline is the stored reference measurement set.
+type Baseline struct {
+	// Note documents how the baseline was produced (host class, benchtime).
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// LoadBaseline reads a baseline JSON file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchcmp: %s carries no benchmarks", path)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline from parsed results.
+func NewBaseline(note string, results []Result) *Baseline {
+	b := &Baseline{Note: note, Benchmarks: make(map[string]Result, len(results))}
+	for _, r := range results {
+		b.Benchmarks[r.Name] = r
+	}
+	return b
+}
+
+// Write stores the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Delta is one baseline-vs-current comparison row.
+type Delta struct {
+	Name      string
+	Base, Cur float64 // ns/op; Cur == 0 means missing from the current run
+	Ratio     float64 // Cur / Base
+	Regressed bool    // Ratio beyond 1 + threshold
+	Improved  bool    // Ratio below 1 − threshold
+}
+
+// Compare matches the current results against the baseline. Benchmarks
+// absent from either side are reported with a zero counterpart rather than
+// dropped (a silently vanished benchmark is itself a regression signal).
+func Compare(base *Baseline, current []Result, threshold float64) []Delta {
+	curByName := make(map[string]Result, len(current))
+	for _, r := range current {
+		curByName[r.Name] = r
+	}
+	var out []Delta
+	for name, b := range base.Benchmarks {
+		d := Delta{Name: name, Base: b.NsPerOp}
+		if c, ok := curByName[name]; ok {
+			d.Cur = c.NsPerOp
+			d.Ratio = c.NsPerOp / b.NsPerOp
+			d.Regressed = d.Ratio > 1+threshold
+			d.Improved = d.Ratio < 1-threshold
+		}
+		out = append(out, d)
+		delete(curByName, name)
+	}
+	for name, c := range curByName {
+		out = append(out, Delta{Name: name, Cur: c.NsPerOp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Regressions filters the deltas down to flagged slowdowns and benchmarks
+// missing from the current run.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed || (d.Cur == 0 && d.Base > 0) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the deltas as an aligned text table.
+func Format(w io.Writer, deltas []Delta) {
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "base ns/op", "current ns/op", "delta")
+	for _, d := range deltas {
+		switch {
+		case d.Cur == 0:
+			fmt.Fprintf(w, "%-40s %14.0f %14s %8s\n", d.Name, d.Base, "-", "MISSING")
+		case d.Base == 0:
+			fmt.Fprintf(w, "%-40s %14s %14.0f %8s\n", d.Name, "-", d.Cur, "NEW")
+		default:
+			tag := ""
+			if d.Regressed {
+				tag = "  REGRESSED"
+			} else if d.Improved {
+				tag = "  improved"
+			}
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %+7.1f%%%s\n",
+				d.Name, d.Base, d.Cur, 100*(d.Ratio-1), tag)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mec"
+)
+
+// seedCorpus adds the testdata seed document plus the structural edge cases
+// every decoder must survive: empty, sparse, invalid value, unknown key,
+// non-JSON bytes.
+func seedCorpus(f *testing.F, seedFile string) {
+	data, err := os.ReadFile(filepath.Join("testdata", seedFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Qk": -1}`))
+	f.Add([]byte(`{"Unknown": 1}`))
+	f.Add([]byte(`{"Qk": 1e999}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+}
+
+// FuzzDecodeParams pins the external-input contract of the parameter codec:
+// whatever bytes arrive (HTTP bodies, -config files), DecodeParams either
+// errors or returns a parameter set that passes Validate — never a panic,
+// never NaN/Inf smuggled past the merge — and the accepted result re-encodes
+// and re-decodes to itself (the merge is idempotent on its own output).
+func FuzzDecodeParams(f *testing.F) {
+	seedCorpus(f, "fuzz_params_seed.json")
+	base := mec.Default()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeParams(data, base)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted params fail validation: %v\ninput: %q", verr, data)
+		}
+		enc, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted params do not re-encode: %v", err)
+		}
+		p2, err := DecodeParams(enc, base)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v\n%s", err, enc)
+		}
+		if p2 != p {
+			t.Fatalf("decode not idempotent:\n got %+v\nwant %+v", p2, p)
+		}
+	})
+}
+
+// FuzzDecodeConfig is the same contract for the solver-config codec, whose
+// merge semantics carry nested Params and slice-valued fields: accepted
+// configurations validate and are stable under re-encode/re-decode.
+func FuzzDecodeConfig(f *testing.F) {
+	seedCorpus(f, "fuzz_config_seed.json")
+	base := DefaultConfig(mec.Default())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := DecodeConfig(data, base)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("accepted config fails validation: %v\ninput: %q", verr, data)
+		}
+		enc1, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("accepted config does not re-encode: %v", err)
+		}
+		cfg2, err := DecodeConfig(enc1, base)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v\n%s", err, enc1)
+		}
+		enc2, err := json.Marshal(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("decode not idempotent:\n got %s\nwant %s", enc2, enc1)
+		}
+	})
+}

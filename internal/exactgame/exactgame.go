@@ -30,6 +30,19 @@ type AgentInit struct {
 	MeanQ, StdQ float64
 }
 
+// SymmetricInits returns m identical initial distributions drawn from the
+// Section-V population law (mean InitMeanFrac·Qk, sd InitStdFrac·Qk): the
+// symmetric population whose exact-game strategies converge to the MFG
+// strategy as m grows. The verification layer uses it for the finite-M
+// differential check.
+func SymmetricInits(p mec.Params, m int) []AgentInit {
+	inits := make([]AgentInit, m)
+	for i := range inits {
+		inits[i] = AgentInit{MeanQ: p.InitMeanFrac * p.Qk, StdQ: p.InitStdFrac * p.Qk}
+	}
+	return inits
+}
+
 // Config controls one exact-game solve.
 type Config struct {
 	Params mec.Params

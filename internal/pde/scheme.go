@@ -68,6 +68,12 @@ type Scheme interface {
 	// StepForward transports the density field forward one step in place at
 	// time t.
 	StepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64) error
+	// Order returns the nominal temporal convergence order of the scheme
+	// (both built-in integrators are first-order: backward/forward Euler in
+	// time, with the Lie splitting itself contributing an O(dt) term). The
+	// verification layer checks the observed order from grid refinement
+	// against this value.
+	Order() int
 }
 
 // backwardKernel / forwardKernel advance one 1-D sweep on a loaded sweeper
@@ -195,6 +201,7 @@ type implicitScheme struct{}
 
 func (implicitScheme) Name() string       { return "implicit" }
 func (implicitScheme) Stepping() Stepping { return Implicit }
+func (implicitScheme) Order() int         { return 1 }
 
 func (implicitScheme) StepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64) error {
 	return stepBackward(ws, p, t, x, src, dst, implicitBackward)
@@ -210,6 +217,7 @@ type explicitScheme struct{}
 
 func (explicitScheme) Name() string       { return "explicit" }
 func (explicitScheme) Stepping() Stepping { return Explicit }
+func (explicitScheme) Order() int         { return 1 }
 
 func (explicitScheme) StepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64) error {
 	return stepBackward(ws, p, t, x, src, dst, explicitBackward)

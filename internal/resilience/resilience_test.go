@@ -190,3 +190,63 @@ func TestValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestEscalationReturnsBestPartial pins AcceptPartial's selection rule
+// differentially: the equilibrium handed back after an exhausted ladder must
+// be the attempt with the smallest final residual — not merely the last one.
+// Each attempt is reproduced independently (the ladder's retries are cold
+// deterministic solves), so the expected winner is computed outright.
+func TestEscalationReturnsBestPartial(t *testing.T) {
+	tests := []struct {
+		name string
+		e    Escalation
+	}{
+		// The iteration budget grows per retry, so later attempts get closer:
+		// the best partial is the last attempt.
+		{"grown-iteration-budget", Escalation{
+			MaxAttempts: 3, DampingFactor: 0.99, MinDamping: 0.05,
+			GrowIterBudget: true, AcceptPartial: true}},
+		// The damping walk shrinks γ aggressively with a fixed budget, so
+		// later attempts take smaller strides and end farther away: the best
+		// partial is an early attempt, which the ladder must have kept.
+		{"damping-walk", Escalation{
+			MaxAttempts: 3, DampingFactor: 0.3, MinDamping: 0.05,
+			AcceptPartial: true}},
+		{"scheme-switch", Escalation{
+			MaxAttempts: 3, DampingFactor: 0.9, MinDamping: 0.05,
+			SwitchScheme: true, AcceptPartial: true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg, w := smallConfig()
+			cfg.MaxIters = 3
+			cfg.Tol = 1e-18 // unattainable: every attempt exhausts its budget
+
+			eq, err := tt.e.Solve(context.Background(), nil, cfg, w, nil)
+			if !errors.Is(err, engine.ErrNotConverged) {
+				t.Fatalf("got %v, want ErrNotConverged", err)
+			}
+			if eq == nil || len(eq.Residuals) == 0 {
+				t.Fatal("exhausted ladder returned no partial equilibrium")
+			}
+
+			best := -1.0
+			for attempt := 0; attempt < tt.e.MaxAttempts; attempt++ {
+				acfg := cfg
+				if attempt > 0 {
+					acfg = tt.e.escalate(cfg, attempt)
+				}
+				aeq, aerr := engine.Solve(acfg, w)
+				if !errors.Is(aerr, engine.ErrNotConverged) || aeq == nil {
+					t.Fatalf("attempt %d replay: %v", attempt, aerr)
+				}
+				if r := aeq.Residuals[len(aeq.Residuals)-1]; best < 0 || r < best {
+					best = r
+				}
+			}
+			if got := eq.Residuals[len(eq.Residuals)-1]; got != best {
+				t.Errorf("ladder kept final residual %g, best across attempts is %g", got, best)
+			}
+		})
+	}
+}

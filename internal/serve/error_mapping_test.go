@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestErrorCodeMapping pins the full error contract of POST /v1/solve in one
+// table: every failure class maps onto its documented HTTP status and
+// structured error kind. This is the mapping clients key their retry logic
+// on, so a drift here is an API break even when each path "works".
+func TestErrorCodeMapping(t *testing.T) {
+	tests := []struct {
+		name      string
+		configure func(*Config)
+		// workers starts the full daemon (Serve); otherwise the handler runs
+		// without a worker pool, which the queue-full case needs to make the
+		// queue occupancy deterministic.
+		workers    bool
+		prefill    bool // park one request in the queue first
+		body       string
+		wantStatus int
+		wantKind   string
+	}{
+		{
+			name:       "malformed JSON",
+			body:       `{"Workload": `,
+			wantStatus: http.StatusBadRequest,
+			wantKind:   "invalid_request",
+		},
+		{
+			name:       "unknown field",
+			body:       `{"Grids": 5}`,
+			wantStatus: http.StatusBadRequest,
+			wantKind:   "invalid_request",
+		},
+		{
+			name:       "non-finite parameter",
+			body:       `{"Params": {"Qk": 1e999}}`,
+			wantStatus: http.StatusBadRequest,
+			wantKind:   "invalid_request",
+		},
+		{
+			name:       "diverged solve",
+			workers:    true,
+			body:       `{"Solver": {"BlowupResidual": 1e-12}, "Workload": {"Requests": 12, "Pop": 0.3, "Timeliness": 2}}`,
+			wantStatus: http.StatusUnprocessableEntity,
+			wantKind:   "diverged",
+		},
+		{
+			name:    "deadline expired mid-solve",
+			workers: true,
+			configure: func(c *Config) {
+				// One best-response iteration on this grid costs far more
+				// than the 1 ms cap, and the tolerance is unreachable.
+				c.Solver.NH, c.Solver.NQ, c.Solver.Steps = 21, 81, 200
+				c.Solver.Tol = 1e-12
+				c.MaxTimeout = time.Millisecond
+			},
+			body:       `{"TimeoutMs": 60000, "Workload": {"Requests": 40, "Pop": 0.8, "Timeliness": 4}}`,
+			wantStatus: http.StatusGatewayTimeout,
+			wantKind:   "interrupted",
+		},
+		{
+			name:      "queue full",
+			prefill:   true,
+			configure: func(c *Config) { c.QueueDepth = 1 },
+			body:       `{"Workload": {"Requests": 5, "Pop": 0.2}}`,
+			wantStatus: http.StatusTooManyRequests,
+			wantKind:   "overloaded",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg, reg := testConfig(t)
+			if tt.configure != nil {
+				tt.configure(&cfg)
+			}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var base string
+			if tt.workers {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan error, 1)
+				go func() { done <- s.Serve(ctx, ln) }()
+				t.Cleanup(func() { cancel(); <-done })
+				base = "http://" + ln.Addr().String()
+			} else {
+				ts := httptest.NewServer(s.Handler())
+				t.Cleanup(ts.Close)
+				base = ts.URL
+			}
+			if tt.prefill {
+				go func() {
+					resp, err := http.Post(base+"/v1/solve", "application/json",
+						strings.NewReader(`{"TimeoutMs": 500, "Workload": {"Requests": 5, "Pop": 0.1}}`))
+					if err == nil {
+						resp.Body.Close()
+					}
+				}()
+				deadline := time.Now().Add(5 * time.Second)
+				for reg.Snapshot().Counters["serve.solve.requests"] < 1 {
+					if time.Now().After(deadline) {
+						t.Fatal("prefill request never enqueued")
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+
+			resp, data := postSolve(t, http.DefaultClient, base, tt.body)
+			if resp.StatusCode != tt.wantStatus {
+				t.Fatalf("status %d body %s, want %d", resp.StatusCode, data, tt.wantStatus)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(data, &eb); err != nil {
+				t.Fatalf("error envelope not JSON: %v (%s)", err, data)
+			}
+			if eb.Error.Kind != tt.wantKind {
+				t.Errorf("error kind %q, want %q (%s)", eb.Error.Kind, tt.wantKind, data)
+			}
+			if eb.Error.Message == "" {
+				t.Error("error envelope carries no message")
+			}
+		})
+	}
+}

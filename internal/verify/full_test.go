@@ -1,0 +1,31 @@
+//go:build verifyfull
+
+package verify
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunFullTier is the nightly gate (`go test -tags verifyfull`): the full
+// tier — order estimation for both schemes and both PDEs, the finite-M
+// differential and the wide property sweep — must pass on the defaults.
+func TestRunFullTier(t *testing.T) {
+	report, err := Run(context.Background(), Options{Tier: Full})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !report.Passed {
+		t.Fatalf("full tier failed on defaults:\n%s", report.Summary())
+	}
+	full := 0
+	for _, c := range report.Checks {
+		switch c.Name {
+		case "order/fpk-explicit", "order/hjb-implicit", "order/hjb-explicit", "differential/finite-m":
+			full++
+		}
+	}
+	if full != 4 {
+		t.Fatalf("full tier ran %d full-only checks, want 4:\n%s", full, report.Summary())
+	}
+}

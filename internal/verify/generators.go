@@ -1,0 +1,173 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/mec"
+)
+
+// Case is one generated verification input: a valid parameter set, solver
+// configuration and workload, remembering the seed that produced it so a
+// failure reproduces with `mfgcp verify -seed N`.
+type Case struct {
+	Seed     int64
+	Index    int
+	Params   mec.Params
+	Config   engine.Config
+	Workload engine.Workload
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("case(seed=%d, index=%d, grid=%dx%d/%d, w=%.3g/%.3g/%.3g)",
+		c.Seed, c.Index, c.Config.NH, c.Config.NQ, c.Config.Steps,
+		c.Workload.Requests, c.Workload.Pop, c.Workload.Timeliness)
+}
+
+// Gen draws valid Params/Config/Workload triples from seeded perturbations
+// of the calibrated defaults. Every draw is guaranteed to pass Validate:
+// the ranges below are strict sub-ranges of the model's admissible set, so
+// the property sweep spends its budget on solver behaviour, not on input
+// rejection.
+type Gen struct {
+	seed int64
+	rng  *rand.Rand
+	next int
+}
+
+// NewGen returns a generator with the given seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Gen) uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.rng.Float64() }
+
+func (g *Gen) choose(xs ...int) int { return xs[g.rng.Intn(len(xs))] }
+
+// Params draws a valid parameter set: economics, sharing threshold, initial
+// distribution and diffusion scales perturbed within the ranges the paper's
+// Section V sweeps (η1 over [1,4]×10⁻⁷ per byte, α around 20%, etc.),
+// everything else at the calibrated defaults.
+func (g *Gen) Params() mec.Params {
+	p := mec.Default()
+	p.PHat = g.uniform(1.0, 2.0)
+	p.Eta1 = g.uniform(1e-3, 4e-3)
+	p.Eta2 = g.uniform(1.0, 3.0)
+	p.SharePrice = g.uniform(0.1, 0.5)
+	p.Alpha = g.uniform(0.15, 0.30)
+	p.W4 = g.uniform(15, 35)
+	p.W5 = g.uniform(450, 900)
+	p.SigmaQ = g.uniform(6, 12)
+	p.ChSigma = g.uniform(0.3, 0.7)
+	p.InitMeanFrac = g.uniform(0.5, 0.85)
+	p.InitStdFrac = g.uniform(0.08, 0.15)
+	return p
+}
+
+// Config draws a valid solver configuration for p on a small grid (the
+// sweep exercises many solves, so each must stay in the tens of
+// milliseconds).
+func (g *Gen) Config(p mec.Params) engine.Config {
+	cfg := engine.DefaultConfig(p)
+	cfg.NH = g.choose(5, 7, 9)
+	cfg.NQ = g.choose(11, 15, 21)
+	cfg.Steps = g.choose(16, 24, 32)
+	cfg.MaxIters = 40
+	cfg.Damping = g.uniform(0.4, 0.8)
+	cfg.ShareEnabled = g.rng.Intn(4) != 0 // mostly MFG-CP, sometimes the MFG baseline
+	return cfg
+}
+
+// Workload draws a valid per-content demand descriptor.
+func (g *Gen) Workload() engine.Workload {
+	return engine.Workload{
+		Requests:   g.uniform(2, 30),
+		Pop:        g.uniform(0.05, 0.9),
+		Timeliness: g.uniform(0, 5),
+	}
+}
+
+// Case draws one complete verification input.
+func (g *Gen) Case() Case {
+	p := g.Params()
+	c := Case{
+		Seed:     g.seed,
+		Index:    g.next,
+		Params:   p,
+		Config:   g.Config(p),
+		Workload: g.Workload(),
+	}
+	g.next++
+	return c
+}
+
+// shrinkCandidates proposes strictly simpler variants of c, ordered from
+// most to least aggressive: defaults-everywhere, default params only,
+// smallest grid only, and every perturbed float moved halfway back to its
+// default. Candidates equal to c are skipped by Shrink.
+func shrinkCandidates(c Case) []Case {
+	def := mec.Default()
+	halfway := func(cur, d float64) float64 { return d + (cur-d)/2 }
+
+	all := c
+	all.Params = def
+	all.Config = engine.DefaultConfig(def)
+	all.Config.NH, all.Config.NQ, all.Config.Steps = 5, 11, 16
+	all.Config.MaxIters = c.Config.MaxIters
+	all.Workload = engine.Workload{Requests: 10, Pop: 0.3, Timeliness: 2}
+
+	params := c
+	params.Params = def
+	params.Config.Params = def
+
+	grid := c
+	grid.Config.NH, grid.Config.NQ, grid.Config.Steps = 5, 11, 16
+
+	half := c
+	hp := &half.Params
+	hp.PHat = halfway(hp.PHat, def.PHat)
+	hp.Eta1 = halfway(hp.Eta1, def.Eta1)
+	hp.Eta2 = halfway(hp.Eta2, def.Eta2)
+	hp.SharePrice = halfway(hp.SharePrice, def.SharePrice)
+	hp.Alpha = halfway(hp.Alpha, def.Alpha)
+	hp.W4 = halfway(hp.W4, def.W4)
+	hp.W5 = halfway(hp.W5, def.W5)
+	hp.SigmaQ = halfway(hp.SigmaQ, def.SigmaQ)
+	hp.ChSigma = halfway(hp.ChSigma, def.ChSigma)
+	hp.InitMeanFrac = halfway(hp.InitMeanFrac, def.InitMeanFrac)
+	hp.InitStdFrac = halfway(hp.InitStdFrac, def.InitStdFrac)
+	half.Config.Params = half.Params
+	half.Config.Damping = halfway(half.Config.Damping, 0.6)
+	half.Workload.Requests = halfway(half.Workload.Requests, 10)
+	half.Workload.Pop = halfway(half.Workload.Pop, 0.3)
+	half.Workload.Timeliness = halfway(half.Workload.Timeliness, 2)
+
+	return []Case{all, params, grid, half}
+}
+
+// Shrink greedily minimises a failing case: while some simpler candidate
+// still fails the predicate, descend into it. maxRounds bounds the descent
+// (the halfway candidates converge geometrically, so a handful of rounds
+// suffices). The returned case still fails the predicate.
+func Shrink(c Case, fails func(Case) bool, maxRounds int) Case {
+	for round := 0; round < maxRounds; round++ {
+		shrunk := false
+		for _, cand := range shrinkCandidates(c) {
+			if cand.Params == c.Params && cand.Config.NH == c.Config.NH &&
+				cand.Config.NQ == c.Config.NQ && cand.Config.Steps == c.Config.Steps &&
+				cand.Workload == c.Workload {
+				continue // no simpler than c itself
+			}
+			if fails(cand) {
+				c = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return c
+		}
+	}
+	return c
+}

@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/mec"
+)
+
+// TestGenProducesValidCases checks the generator's core guarantee: every
+// draw passes the model's own validation, so the property sweep never spends
+// budget on rejected inputs.
+func TestGenProducesValidCases(t *testing.T) {
+	gen := NewGen(42)
+	for i := 0; i < 50; i++ {
+		c := gen.Case()
+		if err := c.Config.Validate(); err != nil {
+			t.Fatalf("%s: generated config invalid: %v", c, err)
+		}
+		if err := c.Workload.Validate(); err != nil {
+			t.Fatalf("%s: generated workload invalid: %v", c, err)
+		}
+		if c.Seed != 42 || c.Index != i {
+			t.Fatalf("case provenance wrong: seed=%d index=%d, want 42/%d", c.Seed, c.Index, i)
+		}
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a, b := NewGen(7), NewGen(7)
+	for i := 0; i < 10; i++ {
+		ca, cb := a.Case(), b.Case()
+		if ca.Params != cb.Params || ca.Workload != cb.Workload ||
+			ca.Config.NH != cb.Config.NH || ca.Config.NQ != cb.Config.NQ ||
+			ca.Config.Steps != cb.Config.Steps {
+			t.Fatalf("same seed diverged at draw %d:\n%+v\n%+v", i, ca, cb)
+		}
+	}
+	other := NewGen(8).Case()
+	first := NewGen(7).Case()
+	if other.Params == first.Params {
+		t.Fatal("different seeds produced identical parameter draws")
+	}
+}
+
+// TestShrinkConvergesToDefaults checks that a failure independent of the
+// input shrinks all the way to the defaults-everywhere candidate.
+func TestShrinkConvergesToDefaults(t *testing.T) {
+	c := NewGen(3).Case()
+	shrunk := Shrink(c, func(Case) bool { return true }, 6)
+	if shrunk.Params != mec.Default() {
+		t.Errorf("always-failing case should shrink to default params, got %+v", shrunk.Params)
+	}
+	if shrunk.Config.NH != 5 || shrunk.Config.NQ != 11 || shrunk.Config.Steps != 16 {
+		t.Errorf("always-failing case should shrink to the smallest grid, got %dx%d/%d",
+			shrunk.Config.NH, shrunk.Config.NQ, shrunk.Config.Steps)
+	}
+}
+
+// TestShrinkKeepsFailing checks the shrinker's contract: the returned case
+// still fails the predicate even when no candidate reproduces.
+func TestShrinkKeepsFailing(t *testing.T) {
+	c := NewGen(3).Case()
+	only := func(cand Case) bool { return cand.Params == c.Params && cand.Workload == c.Workload }
+	shrunk := Shrink(c, only, 6)
+	if !only(shrunk) {
+		t.Fatal("Shrink returned a case that no longer fails the predicate")
+	}
+}
+
+func TestShrinkCandidatesAreValid(t *testing.T) {
+	c := NewGen(11).Case()
+	for i, cand := range shrinkCandidates(c) {
+		if err := cand.Config.Validate(); err != nil {
+			t.Errorf("candidate %d config invalid: %v", i, err)
+		}
+		if err := cand.Workload.Validate(); err != nil {
+			t.Errorf("candidate %d workload invalid: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/mec"
+	"repro/internal/numerics"
+	"repro/internal/pde"
+)
+
+// eq21Raw is the unclamped Eq. 21 maximiser, deliberately re-derived here
+// from the paper (Theorem 1) instead of calling engine.OptimalControl: the
+// oracle re-implements the formula so an editing mistake in either copy is
+// caught by the comparison rather than cancelling out.
+//
+//	x*_raw = −( w4/(2w5) + η2·Qk/(2·Hc·w5) + Qk·w1·∂qV/(2w5) )
+func eq21Raw(p mec.Params, dVdq float64) float64 {
+	return -(p.W4/(2*p.W5) + p.Eta2*p.Qk/(2*p.HubRate*p.W5) + p.Qk*p.W1*dVdq/(2*p.W5))
+}
+
+// MassConservation checks the FPK mass invariant ∫∫λ(t)dS = ∫∫λ(0)dS.
+// The conservative discretisation (the default) must hold the
+// pre-renormalisation mass to round-off at every step; the advective
+// ablation loses mass structurally, so for it only the post-renormalisation
+// mass is checked. Both checks are relative to the initial mass.
+func MassConservation(eq *engine.Equilibrium, tol Tolerances) []Violation {
+	if eq.FPK == nil || len(eq.FPK.RawMass) == 0 {
+		return []Violation{violationf("mass-conservation", 0, 0, "equilibrium carries no FPK solution")}
+	}
+	m0 := eq.FPK.RawMass[0]
+	if !(m0 > 0) || math.IsInf(m0, 0) {
+		return []Violation{violationf("mass-conservation", m0, 0, "initial mass is not positive and finite")}
+	}
+	var out []Violation
+	if eq.Config.FPKForm == pde.Conservative {
+		worst, at := 0.0, 0
+		for n, m := range eq.FPK.RawMass {
+			drift := math.Abs(m-m0) / m0
+			if math.IsNaN(m) || math.IsInf(m, 0) {
+				drift = math.Inf(1)
+			}
+			if drift > worst {
+				worst, at = drift, n
+			}
+		}
+		if worst > tol.MassTol {
+			out = append(out, violationf("mass-conservation", worst, tol.MassTol,
+				"raw mass drifted %.3g relative at step %d (conservative form conserves to round-off)", worst, at))
+		}
+	}
+	// Post-renormalisation mass: every stored density must integrate back to
+	// the initial mass regardless of form (renormalisation plus negative-part
+	// clipping may only perturb at the clipping magnitude, bounded by tol).
+	worst, at := 0.0, 0
+	for n := range eq.FPK.Lambda {
+		drift := math.Abs(eq.FPK.Mass(n)-m0) / m0
+		if drift > worst {
+			worst, at = drift, n
+		}
+	}
+	if worst > tol.MassTol {
+		out = append(out, violationf("mass-conservation", worst, tol.MassTol,
+			"stored density mass drifted %.3g relative at step %d after renormalisation", worst, at))
+	}
+	return out
+}
+
+// DensityNonNegative checks λ ≥ 0 and finite at every node of every time
+// level: the solver clips renormalisation undershoots to zero, so any
+// negative or non-finite stored value is a defect, not round-off.
+func DensityNonNegative(eq *engine.Equilibrium) []Violation {
+	if eq.FPK == nil {
+		return []Violation{violationf("density-nonnegative", 0, 0, "equilibrium carries no FPK solution")}
+	}
+	worst, atN, atK, count := 0.0, 0, 0, 0
+	for n, lam := range eq.FPK.Lambda {
+		for k, v := range lam {
+			bad := v < 0 || math.IsNaN(v) || math.IsInf(v, 0)
+			if !bad {
+				continue
+			}
+			count++
+			mag := math.Abs(v)
+			if math.IsNaN(v) {
+				mag = math.Inf(1)
+			}
+			if mag >= worst {
+				worst, atN, atK = mag, n, k
+			}
+		}
+	}
+	if count > 0 {
+		return []Violation{violationf("density-nonnegative", worst, 0,
+			"%d negative/non-finite density nodes (worst |λ|=%.3g at step %d node %d)", count, worst, atN, atK)}
+	}
+	return nil
+}
+
+// ResidualContraction checks the convergence diagnostics of Algorithm 2's
+// damped best-response iteration: every residual finite, at most
+// ResidualUpFrac of the steps growing by more than ResidualGrowth×, and a
+// net contraction from first to last once the iteration ran long enough to
+// measure one.
+func ResidualContraction(eq *engine.Equilibrium, tol Tolerances) []Violation {
+	res := eq.Residuals
+	if len(res) == 0 {
+		return []Violation{violationf("residual-contraction", 0, 0, "equilibrium carries no residual history")}
+	}
+	var out []Violation
+	for i, r := range res {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			out = append(out, violationf("residual-contraction", r, 0,
+				"residual %g at iteration %d is not finite and non-negative", r, i+1))
+			return out
+		}
+	}
+	if len(res) < 3 {
+		return nil // converged (or stopped) too fast to judge the trend
+	}
+	jumps := 0
+	worstJump := 0.0
+	for i := 1; i < len(res); i++ {
+		if res[i] > res[i-1]*tol.ResidualGrowth {
+			jumps++
+			if ratio := res[i] / res[i-1]; ratio > worstJump {
+				worstJump = ratio
+			}
+		}
+	}
+	allowed := int(tol.ResidualUpFrac * float64(len(res)-1))
+	if jumps > allowed {
+		out = append(out, violationf("residual-contraction", float64(jumps), float64(allowed),
+			"%d of %d iteration steps grew the residual by more than %.2f× (worst %.2f×)",
+			jumps, len(res)-1, tol.ResidualGrowth, worstJump))
+	}
+	if len(res) >= 4 && res[len(res)-1] >= res[0] {
+		out = append(out, violationf("residual-contraction", res[len(res)-1], res[0],
+			"no net contraction: final residual %.3g ≥ first %.3g after %d iterations",
+			res[len(res)-1], res[0], len(res)))
+	}
+	return out
+}
+
+// TerminalCondition checks the HJB boundary condition V(T,·) = 0 (the
+// paper's scrap value): the solver writes the terminal level exactly, so
+// the default tolerance is zero.
+func TerminalCondition(eq *engine.Equilibrium, tol Tolerances) []Violation {
+	if eq.HJB == nil || len(eq.HJB.V) == 0 {
+		return []Violation{violationf("terminal-condition", 0, 0, "equilibrium carries no HJB solution")}
+	}
+	vT := eq.HJB.V[len(eq.HJB.V)-1]
+	worst, at := 0.0, 0
+	for k, v := range vT {
+		mag := math.Abs(v)
+		if math.IsNaN(v) {
+			mag = math.Inf(1)
+		}
+		if mag > worst {
+			worst, at = mag, k
+		}
+	}
+	if worst > tol.TerminalTol {
+		return []Violation{violationf("terminal-condition", worst, tol.TerminalTol,
+			"|V(T)| = %.3g at node %d (scrap value is identically zero)", worst, at)}
+	}
+	return nil
+}
+
+// PolicyProperties checks the Eq. 21 structure of the stored strategy:
+//
+//   - x* ∈ [0,1] at every node of every time level;
+//   - x*(t_n) equals the clamped closed form recomputed from ∂qV(t_{n+1})
+//     of the stored value function (independent re-derivation, see eq21Raw);
+//   - the clamp saturates exactly: where the raw maximiser is ≤ 0 the
+//     stored control is 0, where it is ≥ 1 the stored control is 1;
+//   - the final level X[Steps] duplicates X[Steps-1] (the control on the
+//     last interval, by the solver's contract).
+func PolicyProperties(eq *engine.Equilibrium, tol Tolerances) []Violation {
+	if eq.HJB == nil || len(eq.HJB.X) == 0 {
+		return []Violation{violationf("eq21-policy", 0, 0, "equilibrium carries no HJB solution")}
+	}
+	p := eq.Config.Params
+	g := eq.Grid
+	steps := eq.Time.Steps
+	var out []Violation
+
+	// Range.
+	worst, atN, atK, count := 0.0, 0, 0, 0
+	for n, x := range eq.HJB.X {
+		for k, v := range x {
+			excess := 0.0
+			switch {
+			case math.IsNaN(v):
+				excess = math.Inf(1)
+			case v < 0:
+				excess = -v
+			case v > 1:
+				excess = v - 1
+			}
+			if excess > 0 {
+				count++
+				if excess >= worst {
+					worst, atN, atK = excess, n, k
+				}
+			}
+		}
+	}
+	if count > 0 {
+		out = append(out, violationf("eq21-policy", worst, 0,
+			"%d control nodes outside [0,1] (worst excess %.3g at step %d node %d)", count, worst, atN, atK))
+	}
+
+	// Closed-form agreement and clamp saturation against the re-derived
+	// Eq. 21, level by level.
+	grad := g.NewField()
+	worst, atN, atK, count = 0.0, 0, 0, 0
+	satCount, satWorst := 0, 0.0
+	for n := 0; n < steps; n++ {
+		if err := numerics.GradientQ(g, grad, eq.HJB.V[n+1]); err != nil {
+			return append(out, violationf("eq21-policy", 0, 0, "gradient at step %d: %v", n, err))
+		}
+		for k := range grad {
+			raw := eq21Raw(p, grad[k])
+			want := numerics.Clamp01(raw)
+			got := eq.HJB.X[n][k]
+			if d := math.Abs(got - want); d > tol.ClampTol || math.IsNaN(d) {
+				count++
+				if d >= worst || math.IsNaN(d) {
+					worst, atN, atK = d, n, k
+				}
+			}
+			// Saturation must be exact: the clamp maps the raw maximiser
+			// onto the boundary, not near it.
+			if raw <= -tol.ClampTol && got != 0 {
+				satCount++
+				if got > satWorst {
+					satWorst = got
+				}
+			}
+			if raw >= 1+tol.ClampTol && got != 1 {
+				satCount++
+				if d := math.Abs(got - 1); d > satWorst {
+					satWorst = d
+				}
+			}
+		}
+	}
+	if count > 0 {
+		out = append(out, violationf("eq21-policy", worst, tol.ClampTol,
+			"%d control nodes deviate from the Eq. 21 closed form (worst %.3g at step %d node %d)",
+			count, worst, atN, atK))
+	}
+	if satCount > 0 {
+		out = append(out, violationf("eq21-policy", satWorst, 0,
+			"%d saturated nodes not pinned to the clamp boundary (worst deviation %.3g)", satCount, satWorst))
+	}
+
+	// Final-level duplication.
+	if len(eq.HJB.X) == steps+1 {
+		for k := range eq.HJB.X[steps] {
+			if eq.HJB.X[steps][k] != eq.HJB.X[steps-1][k] {
+				out = append(out, violationf("eq21-policy", math.Abs(eq.HJB.X[steps][k]-eq.HJB.X[steps-1][k]), 0,
+					"X[Steps] differs from X[Steps-1] at node %d (final-interval contract)", k))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ControlMonotone checks the function-level Eq. 21 properties on a sweep of
+// ∂qV values: the optimal control is non-increasing in ∂qV (the coefficient
+// −Qk·w1/(2w5) is non-positive), confined to [0,1], and saturates at both
+// clamp boundaries for extreme gradients.
+func ControlMonotone(p mec.Params, samples int) []Violation {
+	if samples < 3 {
+		samples = 3
+	}
+	// Sweep a symmetric bracket around the clamp window: the raw maximiser
+	// crosses 1 and 0 at these gradients, so ±3 window widths guarantee both
+	// saturation regimes are visited.
+	slope := p.Qk * p.W1 / (2 * p.W5)
+	if slope <= 0 {
+		return nil // degenerate parameters: control does not depend on ∂qV
+	}
+	center := -(p.W4/(2*p.W5) + p.Eta2*p.Qk/(2*p.HubRate*p.W5)) / slope // raw = 0 here
+	halfWidth := 3.0 / slope
+	var out []Violation
+	prev := math.Inf(1)
+	for i := 0; i < samples; i++ {
+		dv := center - halfWidth + 2*halfWidth*float64(i)/float64(samples-1)
+		x := engine.OptimalControl(p, dv)
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			out = append(out, violationf("eq21-monotone", x, 1,
+				"control %g outside [0,1] at ∂qV=%g", x, dv))
+			return out
+		}
+		if x > prev+1e-15 {
+			out = append(out, violationf("eq21-monotone", x-prev, 0,
+				"control increased by %.3g between consecutive ∂qV samples (must be non-increasing)", x-prev))
+			return out
+		}
+		prev = x
+	}
+	if lo := engine.OptimalControl(p, center+2*halfWidth); lo != 0 {
+		out = append(out, violationf("eq21-monotone", lo, 0,
+			"control %g not saturated at 0 for large ∂qV", lo))
+	}
+	if hi := engine.OptimalControl(p, center-2*halfWidth); hi != 1 {
+		out = append(out, violationf("eq21-monotone", hi, 1,
+			"control %g not saturated at 1 for very negative ∂qV", hi))
+	}
+	return out
+}
+
+// AllInvariants bundles every per-equilibrium oracle.
+func AllInvariants(eq *engine.Equilibrium, tol Tolerances) []Violation {
+	var out []Violation
+	out = append(out, MassConservation(eq, tol)...)
+	out = append(out, DensityNonNegative(eq)...)
+	out = append(out, ResidualContraction(eq, tol)...)
+	out = append(out, TerminalCondition(eq, tol)...)
+	out = append(out, PolicyProperties(eq, tol)...)
+	return out
+}
+
+// solveFor runs one cold solve for the given config/workload, tolerating
+// non-convergence (the partial equilibrium still satisfies the invariants)
+// but failing on divergence or configuration errors.
+func solveFor(cfg engine.Config, w engine.Workload) (*engine.Equilibrium, error) {
+	eq, err := engine.Solve(cfg, w)
+	if err != nil && eq == nil {
+		return nil, fmt.Errorf("verify: solve failed: %w", err)
+	}
+	return eq, nil
+}

@@ -1,0 +1,222 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mec"
+	"repro/internal/numerics"
+)
+
+// defaultInputs is the solver configuration and workload every oracle test
+// solves: the verification grid over the calibrated defaults.
+func defaultInputs() (engine.Config, engine.Workload) {
+	return DefaultSolverConfig(mec.Default()), engine.Workload{Requests: 10, Pop: 0.3, Timeliness: 2}
+}
+
+// solvedEq returns a freshly solved equilibrium the test may tamper with.
+func solvedEq(t *testing.T) *engine.Equilibrium {
+	t.Helper()
+	cfg, w := defaultInputs()
+	eq, err := solveFor(cfg, w)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return eq
+}
+
+func hasOracle(vs []Violation, oracle string) bool {
+	for _, v := range vs {
+		if v.Oracle == oracle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAllInvariantsPassOnDefaults(t *testing.T) {
+	eq := solvedEq(t)
+	if vs := AllInvariants(eq, DefaultTolerances()); len(vs) != 0 {
+		t.Fatalf("default solve violates invariants: %v", vs)
+	}
+}
+
+// TestMassConservationCatchesSeededViolation is the mutation test of the
+// mass oracle: tampering with either the raw-mass diagnostics or the stored
+// densities of a clean solve must trip it.
+func TestMassConservationCatchesSeededViolation(t *testing.T) {
+	tol := DefaultTolerances()
+
+	t.Run("raw-mass-drift", func(t *testing.T) {
+		eq := solvedEq(t)
+		eq.FPK.RawMass[len(eq.FPK.RawMass)-1] *= 1.01
+		vs := MassConservation(eq, tol)
+		if !hasOracle(vs, "mass-conservation") {
+			t.Fatalf("1%% raw-mass drift not caught: %v", vs)
+		}
+	})
+	t.Run("stored-density-drift", func(t *testing.T) {
+		eq := solvedEq(t)
+		last := eq.FPK.Lambda[len(eq.FPK.Lambda)-1]
+		for k := range last {
+			last[k] *= 1.02
+		}
+		vs := MassConservation(eq, tol)
+		if !hasOracle(vs, "mass-conservation") {
+			t.Fatalf("2%% stored-mass drift not caught: %v", vs)
+		}
+	})
+	t.Run("non-finite-mass", func(t *testing.T) {
+		eq := solvedEq(t)
+		eq.FPK.RawMass[1] = math.NaN()
+		if vs := MassConservation(eq, tol); !hasOracle(vs, "mass-conservation") {
+			t.Fatalf("NaN raw mass not caught: %v", vs)
+		}
+	})
+}
+
+func TestDensityNonNegativeCatchesSeededViolation(t *testing.T) {
+	for name, bad := range map[string]float64{
+		"negative": -1e-6,
+		"nan":      math.NaN(),
+		"inf":      math.Inf(1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			eq := solvedEq(t)
+			eq.FPK.Lambda[2][1] = bad
+			if vs := DensityNonNegative(eq); !hasOracle(vs, "density-nonnegative") {
+				t.Fatalf("density node %g not caught: %v", bad, vs)
+			}
+		})
+	}
+}
+
+func TestResidualContraction(t *testing.T) {
+	eq := solvedEq(t)
+	tol := DefaultTolerances()
+
+	t.Run("growth", func(t *testing.T) {
+		eq.Residuals = []float64{1, 0.5, 0.9, 2, 4, 8}
+		vs := ResidualContraction(eq, tol)
+		if !hasOracle(vs, "residual-contraction") {
+			t.Fatalf("growing residual series not caught: %v", vs)
+		}
+	})
+	t.Run("non-finite", func(t *testing.T) {
+		eq.Residuals = []float64{1, math.NaN()}
+		if vs := ResidualContraction(eq, tol); !hasOracle(vs, "residual-contraction") {
+			t.Fatalf("NaN residual not caught: %v", vs)
+		}
+	})
+	t.Run("short-series-tolerated", func(t *testing.T) {
+		eq.Residuals = []float64{0.1, 0.2} // warm start: too short to judge
+		if vs := ResidualContraction(eq, tol); len(vs) != 0 {
+			t.Fatalf("2-iteration history should pass: %v", vs)
+		}
+	})
+	t.Run("missing-history", func(t *testing.T) {
+		eq.Residuals = nil
+		if vs := ResidualContraction(eq, tol); !hasOracle(vs, "residual-contraction") {
+			t.Fatalf("empty residual history should fail: %v", vs)
+		}
+	})
+}
+
+func TestTerminalConditionCatchesSeededViolation(t *testing.T) {
+	eq := solvedEq(t)
+	eq.HJB.V[len(eq.HJB.V)-1][0] = 1e-9
+	vs := TerminalCondition(eq, DefaultTolerances())
+	if !hasOracle(vs, "terminal-condition") {
+		t.Fatalf("non-zero scrap value not caught: %v", vs)
+	}
+}
+
+// TestPolicyPropertiesCatchesSeededViolation is the mutation test of the
+// Eq. 21 clamp oracle: perturbing stored control nodes of a clean solve must
+// trip the closed-form, range, saturation and duplication checks.
+func TestPolicyPropertiesCatchesSeededViolation(t *testing.T) {
+	tol := DefaultTolerances()
+
+	t.Run("closed-form-deviation", func(t *testing.T) {
+		eq := solvedEq(t)
+		// Move an interior node far from its value while staying in [0,1], so
+		// only the closed-form comparison can catch it.
+		if eq.HJB.X[1][3] < 0.5 {
+			eq.HJB.X[1][3] = 0.9
+		} else {
+			eq.HJB.X[1][3] = 0.1
+		}
+		vs := PolicyProperties(eq, tol)
+		if !hasOracle(vs, "eq21-policy") {
+			t.Fatalf("in-range closed-form deviation not caught: %v", vs)
+		}
+	})
+	t.Run("out-of-range", func(t *testing.T) {
+		eq := solvedEq(t)
+		eq.HJB.X[0][0] = 1.5
+		if vs := PolicyProperties(eq, tol); !hasOracle(vs, "eq21-policy") {
+			t.Fatalf("control outside [0,1] not caught: %v", vs)
+		}
+	})
+	t.Run("clamp-saturation", func(t *testing.T) {
+		// With V ≡ 0 the gradient vanishes and the raw Eq. 21 maximiser is
+		// strictly negative under the defaults, so the clamp must pin every
+		// node to exactly 0; one non-zero node is a saturation defect.
+		eq := solvedEq(t)
+		if raw := eq21Raw(eq.Config.Params, 0); raw > -tol.ClampTol {
+			t.Fatalf("defaults no longer saturate at zero gradient (raw=%g); pick new test params", raw)
+		}
+		for _, level := range eq.HJB.V {
+			for k := range level {
+				level[k] = 0
+			}
+		}
+		for _, level := range eq.HJB.X {
+			for k := range level {
+				level[k] = 0
+			}
+		}
+		if vs := PolicyProperties(eq, tol); len(vs) != 0 {
+			t.Fatalf("fully saturated strategy should pass: %v", vs)
+		}
+		eq.HJB.X[0][2] = 0.5
+		vs := PolicyProperties(eq, tol)
+		if !hasOracle(vs, "eq21-policy") {
+			t.Fatalf("clamp saturation breach not caught: %v", vs)
+		}
+	})
+	t.Run("final-level-duplication", func(t *testing.T) {
+		eq := solvedEq(t)
+		last := len(eq.HJB.X) - 1
+		eq.HJB.X[last][0] = math.Mod(eq.HJB.X[last][0]+0.5, 1)
+		if vs := PolicyProperties(eq, tol); !hasOracle(vs, "eq21-policy") {
+			t.Fatalf("X[Steps] != X[Steps-1] not caught: %v", vs)
+		}
+	})
+}
+
+func TestControlMonotone(t *testing.T) {
+	if vs := ControlMonotone(mec.Default(), 101); len(vs) != 0 {
+		t.Fatalf("default params violate Eq. 21 monotonicity: %v", vs)
+	}
+	degenerate := mec.Default()
+	degenerate.W1 = 0 // control independent of ∂qV: nothing to check
+	if vs := ControlMonotone(degenerate, 101); len(vs) != 0 {
+		t.Fatalf("degenerate params should be skipped: %v", vs)
+	}
+}
+
+// TestEq21RawMatchesEngine pins the oracle's independent re-derivation of
+// Eq. 21 to the engine's production formula over a gradient sweep.
+func TestEq21RawMatchesEngine(t *testing.T) {
+	p := mec.Default()
+	for i := 0; i <= 200; i++ {
+		dv := -2 + 4*float64(i)/200
+		want := numerics.Clamp01(eq21Raw(p, dv))
+		got := engine.OptimalControl(p, dv)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("OptimalControl(%g) = %g, re-derived Eq. 21 gives %g", dv, got, want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package verify
+
+import (
+	"math"
+	"testing"
+)
+
+func TestObservedOrder(t *testing.T) {
+	tests := []struct {
+		name   string
+		d1, d2 float64
+		fails  bool
+	}{
+		{"first-order", 0.1, 0.05, false},
+		{"slightly-degraded", 0.1, 0.06, false}, // order 0.74 > 1 − 0.45
+		{"order-zero", 0.1, 0.095, true},        // no convergence: consistency bug
+		{"non-decreasing", 0.05, 0.1, true},
+		{"noise-floor", 1e-14, 1e-15, false}, // scheme exact on the problem
+		{"nan", math.NaN(), 0.1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			vs := observedOrder("order-test", tt.d1, tt.d2, 1, 0.45)
+			if got := len(vs) > 0; got != tt.fails {
+				t.Fatalf("observedOrder(%g, %g): violations %v, want fail=%v", tt.d1, tt.d2, vs, tt.fails)
+			}
+		})
+	}
+}
+
+func TestTemporalOrderBothSchemes(t *testing.T) {
+	tol := DefaultTolerances()
+	for _, scheme := range []string{"implicit", "explicit"} {
+		t.Run("fpk-"+scheme, func(t *testing.T) {
+			vs, err := TemporalOrderFPK(scheme, 16, tol)
+			if err != nil {
+				t.Fatalf("FPK order study: %v", err)
+			}
+			if len(vs) != 0 {
+				t.Fatalf("FPK %s scheme below nominal order: %v", scheme, vs)
+			}
+		})
+		t.Run("hjb-"+scheme, func(t *testing.T) {
+			vs, err := TemporalOrderHJB(scheme, 16, tol)
+			if err != nil {
+				t.Fatalf("HJB order study: %v", err)
+			}
+			if len(vs) != 0 {
+				t.Fatalf("HJB %s scheme below nominal order: %v", scheme, vs)
+			}
+		})
+	}
+	if _, err := TemporalOrderFPK("no-such-scheme", 16, tol); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
