@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestLoadgenEndToEnd is the CLI-level loadgen acceptance: against an
+// in-process `mfgcp serve` on a small grid, a generous SLO run exits 0 and
+// emits a JSON report carrying the latency quantiles and rates, while a
+// deliberately unattainable SLO makes the command return an error — the
+// non-zero exit CI gates on.
+func TestLoadgenEndToEnd(t *testing.T) {
+	addr := freePort(t)
+	cfgPath := filepath.Join(t.TempDir(), "serve.json")
+	if err := os.WriteFile(cfgPath, []byte(`{"Solver": {"NH": 7, "NQ": 15, "Steps": 24}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", addr, "-config", cfgPath})
+	}()
+	defer func() {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve returned %v after SIGTERM", err)
+		}
+	}()
+	base := "http://" + addr
+	waitReady(t, base)
+
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{"loadgen",
+		"-target", base,
+		"-rps", "40", "-duration", "1s", "-epochs", "1",
+		"-out", reportPath,
+		"-slo-p99", "60s", "-slo-error-rate", "0", "-slo-timeout-rate", "0",
+	})
+	if err != nil {
+		t.Fatalf("loadgen with generous SLO: %v", err)
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Sent    int64 `json:"sent"`
+		Latency struct {
+			P50  float64 `json:"p50"`
+			P99  float64 `json:"p99"`
+			P999 float64 `json:"p999"`
+		} `json:"latency_ms"`
+		ShedRate *float64 `json:"shed_rate"`
+		Pass     bool     `json:"pass"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, raw)
+	}
+	if rep.Sent == 0 || !rep.Pass || rep.ShedRate == nil {
+		t.Fatalf("implausible report: %s", raw)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 || rep.Latency.P999 < rep.Latency.P99 {
+		t.Fatalf("latency quantiles missing or disordered: %s", raw)
+	}
+
+	// The deliberately unattainable bound: p99 under a nanosecond.
+	err = run([]string{"loadgen",
+		"-target", base,
+		"-rps", "40", "-duration", "500ms", "-epochs", "1",
+		"-slo-p99", "1ns",
+	})
+	if err == nil || !strings.Contains(err.Error(), "SLO violated") {
+		t.Fatalf("unattainable SLO: got %v, want SLO violation error", err)
+	}
+}

@@ -30,6 +30,11 @@
 // POST /v1/solve, POST /v1/policy/epoch, /healthz, /readyz); see
 // `mfgcp serve -h` and the README's Serving section.
 //
+// `mfgcp loadgen` replays trace-derived workloads against a running daemon at
+// a constant open-loop rate and reports p50/p99/p999 latency plus
+// error/shed/timeout rates as JSON, exiting non-zero when a declared SLO is
+// violated; see `mfgcp loadgen -h` and the README's Load testing section.
+//
 // `mfgcp verify` runs the numerical verification suite (invariant oracles,
 // cross-scheme differential tests, convergence-order estimation, property
 // sweep) and exits non-zero on any violation; see `mfgcp verify -h` and the
@@ -74,6 +79,8 @@ func run(args []string) (retErr error) {
 		return marketCmd(args[1:])
 	case "serve":
 		return serveCmd(args[1:])
+	case "loadgen":
+		return loadgenCmd(args[1:])
 	case "verify":
 		return verifyCmd(args[1:])
 	case "help", "-h", "--help":
@@ -181,6 +188,7 @@ usage:
   mfgcp solve [flags]        solve one custom equilibrium (see solve -h)
   mfgcp market [flags]       run one agent-based market (see market -h)
   mfgcp serve [flags]        run the equilibrium-serving daemon (see serve -h)
+  mfgcp loadgen [flags]      load-test a running daemon against an SLO (see loadgen -h)
   mfgcp verify [flags]       run the numerical verification suite (see verify -h)
 
 flags:

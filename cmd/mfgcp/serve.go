@@ -34,6 +34,7 @@ func serveCmd(args []string) (retErr error) {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "upper bound on request-supplied deadlines")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	slowThreshold := fs.Duration("slow", time.Second, "access-log slow-request threshold (warn level + stage breakdown)")
 	configPath := fs.String("config", "", "JSON defaults for Params/Solver (same shape as a /v1/solve body)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -84,19 +85,24 @@ func serveCmd(args []string) (retErr error) {
 	if reg == nil {
 		reg = obs.NewRegistry(nil)
 	}
+	// The daemon exports Go runtime health (goroutines, heap, GC pauses)
+	// alongside its own metrics; batch runs keep snapshots deterministic.
+	reg.SetRuntimeMetrics(true)
 
 	srv, err := serve.New(serve.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *eqCache,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DrainTimeout:   *drainTimeout,
-		Params:         params,
-		Solver:         solver,
-		Obs:            reg,
-		Registry:       reg,
+		Addr:                 *addr,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		CacheSize:            *eqCache,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		DrainTimeout:         *drainTimeout,
+		SlowRequestThreshold: *slowThreshold,
+		AccessLog:            tel.logger,
+		Params:               params,
+		Solver:               solver,
+		Obs:                  reg,
+		Registry:             reg,
 	})
 	if err != nil {
 		return err

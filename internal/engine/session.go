@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/mec"
@@ -44,6 +45,11 @@ type Session struct {
 
 	workload Workload // the workload of the solve in flight
 	solves   int      // completed solves, for the reuse metric
+
+	// trace is the request-scoped stage accumulator of the solve in flight
+	// (nil for untraced solves — the steady-state zero-allocation contract
+	// only pays two nil checks per iteration for it).
+	trace *obs.ReqTrace
 }
 
 // NewSession validates the configuration and preallocates every workspace.
@@ -249,8 +255,15 @@ func (s *Session) iterate(iter int) (float64, error) {
 	}
 
 	// 2. Backward HJB under the frozen mean field.
+	var stageStart time.Time
+	if s.trace != nil {
+		stageStart = time.Now()
+	}
 	if err := pde.SolveHJBInto(s.ws, s.scheme, s.hjbProb, s.hjb); err != nil {
 		return 0, fmt.Errorf("core: HJB solve at iteration %d: %w", iter, err)
+	}
+	if s.trace != nil {
+		s.trace.Observe("hjb_sweep", time.Since(stageStart))
 	}
 
 	// 3. Strategy residual and damped update (in place).
@@ -268,8 +281,15 @@ func (s *Session) iterate(iter int) (float64, error) {
 	}
 
 	// 4. Forward FPK under the updated strategy.
+	if s.trace != nil {
+		stageStart = time.Now()
+	}
 	if err := pde.SolveFPKInto(s.ws, s.scheme, s.fpkProb, s.lambda0, s.fpk); err != nil {
 		return 0, fmt.Errorf("core: FPK solve at iteration %d: %w", iter, err)
+	}
+	if s.trace != nil {
+		s.trace.Observe("fpk_sweep", time.Since(stageStart))
+		s.trace.Count("fixed_point_iterations", 1)
 	}
 	for n := range s.lambdaPath {
 		s.lambdaPath[n] = s.fpk.Lambda[n]
@@ -346,6 +366,11 @@ func (s *Session) SolveContext(ctx context.Context, w Workload, warm *Equilibriu
 	if warm == nil {
 		warm = s.cfg.WarmStart
 	}
+	// Request-scoped stage attribution: when the caller's context carries a
+	// ReqTrace (the serving tier's per-request correlation), the HJB/FPK
+	// sweep times and fixed-point iteration count of this solve land in it.
+	s.trace = obs.ReqTraceFrom(ctx)
+	defer func() { s.trace = nil }()
 	if err := s.begin(w, warm); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,277 @@
+// Package loadgen is the serving-tier load-test harness behind `mfgcp
+// loadgen`: an open-loop constant-rate generator that replays solve workloads
+// against a live `mfgcp serve` endpoint and reports tail latency
+// (p50/p99/p999), error/shed/timeout rates and a pass/fail verdict against a
+// declared SLO — the measurement ROADMAP item 1 calls for.
+//
+// Open loop means the generator fires at the configured rate regardless of
+// how fast the server answers (launches beyond MaxInFlight are dropped and
+// counted, never queued), so a saturated server shows up as shed load and
+// inflated tails instead of silently throttling the generator — the failure
+// mode that matters at "millions of EDPs" scale.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config parametrises one load-generation run.
+type Config struct {
+	// Target is the base URL of a running serve daemon
+	// (e.g. "http://127.0.0.1:8080").
+	Target string
+	// RPS is the offered request rate (default 10).
+	RPS float64
+	// Duration is the generation window (default 5s); requests in flight at
+	// its end are awaited, not cancelled.
+	Duration time.Duration
+	// Timeout bounds one request (default 10s); requests past it count as
+	// timeouts, not errors.
+	Timeout time.Duration
+	// MaxInFlight caps concurrent requests (default 256). The generator
+	// never queues: a tick arriving with the cap exhausted is dropped and
+	// counted into the shed rate.
+	MaxInFlight int
+	// Bodies are the POST /v1/solve request documents, cycled round-robin —
+	// distinct workloads exercise cold solves, repeats exercise the cache
+	// and singleflight tiers.
+	Bodies [][]byte
+	// SLO is the verdict gate (see SLO); the zero value checks nothing.
+	SLO SLO
+	// Client overrides the HTTP client (tests); nil builds one from Timeout.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.RPS <= 0 {
+		c.RPS = 10
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	return c
+}
+
+// SLO declares the service-level objective the report is judged against.
+// Latency bounds at zero are unchecked; rate bounds below zero are unchecked
+// (zero is a legitimate strict bound: "no shed requests allowed").
+type SLO struct {
+	P50Ms  float64 `json:"p50_ms,omitempty"`
+	P99Ms  float64 `json:"p99_ms,omitempty"`
+	P999Ms float64 `json:"p999_ms,omitempty"`
+
+	MaxErrorRate   float64 `json:"max_error_rate,omitempty"`
+	MaxShedRate    float64 `json:"max_shed_rate,omitempty"`
+	MaxTimeoutRate float64 `json:"max_timeout_rate,omitempty"`
+}
+
+// Unchecked is the SLO rate sentinel: bounds set to it are not evaluated.
+const Unchecked = -1
+
+// LatencySummary is the latency distribution of the successful requests, in
+// milliseconds.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// Report is the JSON result of one run. Rates are fractions of Sent.
+type Report struct {
+	Target          string  `json:"target"`
+	OfferedRPS      float64 `json:"offered_rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	Sent      int64 `json:"sent"`
+	Succeeded int64 `json:"succeeded"` // 2xx answers (latency sample source)
+	Shed      int64 `json:"shed"`      // 429 answers
+	Timeouts  int64 `json:"timeouts"`  // client deadline exceeded
+	Errors    int64 `json:"errors"`    // transport failures and other statuses
+	Dropped   int64 `json:"dropped"`   // open-loop overruns beyond MaxInFlight
+
+	ShedRate    float64 `json:"shed_rate"` // (shed+dropped)/sent
+	ErrorRate   float64 `json:"error_rate"`
+	TimeoutRate float64 `json:"timeout_rate"`
+
+	Latency LatencySummary `json:"latency_ms"`
+
+	SLO        SLO      `json:"slo"`
+	Violations []string `json:"violations,omitempty"`
+	Pass       bool     `json:"pass"`
+}
+
+// Run executes one open-loop load generation and returns its report. The
+// error is non-nil only for harness failures (bad config, cancelled before
+// the first request); an unhealthy target yields a report with violations,
+// not an error — callers gate on Report.Pass.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: Target is required")
+	}
+	if len(cfg.Bodies) == 0 {
+		return nil, fmt.Errorf("loadgen: at least one request body is required")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+
+	var (
+		sent, succeeded, shed, timeouts, errCount, dropped atomic.Int64
+		hist                                               = obs.NewHistogram()
+		sem                                                = make(chan struct{}, cfg.MaxInFlight)
+		wg                                                 sync.WaitGroup
+	)
+	fire := func(body []byte, seq int64) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		req, err := http.NewRequest(http.MethodPost, cfg.Target+"/v1/solve", bytes.NewReader(body))
+		if err != nil {
+			errCount.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-ID", fmt.Sprintf("loadgen-%d", seq))
+		start := time.Now()
+		resp, err := client.Do(req)
+		elapsed := time.Since(start)
+		if err != nil {
+			var uerr interface{ Timeout() bool }
+			if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &uerr) && uerr.Timeout()) {
+				timeouts.Add(1)
+			} else {
+				errCount.Add(1)
+			}
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			succeeded.Add(1)
+			hist.Observe(elapsed.Seconds())
+		case resp.StatusCode == http.StatusTooManyRequests:
+			shed.Add(1)
+		default:
+			errCount.Add(1)
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.NewTimer(cfg.Duration)
+	defer stop.Stop()
+	runStart := time.Now()
+
+	next := 0
+generate:
+	for {
+		select {
+		case <-ctx.Done():
+			break generate
+		case <-stop.C:
+			break generate
+		case <-ticker.C:
+			seq := sent.Add(1)
+			select {
+			case sem <- struct{}{}:
+				body := cfg.Bodies[next%len(cfg.Bodies)]
+				next++
+				wg.Add(1)
+				go fire(body, seq)
+			default:
+				dropped.Add(1) // open loop: never queue behind a saturated cap
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(runStart)
+
+	rep := &Report{
+		Target:          cfg.Target,
+		OfferedRPS:      cfg.RPS,
+		DurationSeconds: elapsed.Seconds(),
+		Sent:            sent.Load(),
+		Succeeded:       succeeded.Load(),
+		Shed:            shed.Load(),
+		Timeouts:        timeouts.Load(),
+		Errors:          errCount.Load(),
+		Dropped:         dropped.Load(),
+		SLO:             cfg.SLO,
+	}
+	if rep.Sent == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("loadgen: cancelled before the first request: %w", err)
+		}
+		return nil, fmt.Errorf("loadgen: generated no requests in %s at %g rps", cfg.Duration, cfg.RPS)
+	}
+	rep.AchievedRPS = float64(rep.Succeeded) / elapsed.Seconds()
+	rep.ShedRate = float64(rep.Shed+rep.Dropped) / float64(rep.Sent)
+	rep.ErrorRate = float64(rep.Errors) / float64(rep.Sent)
+	rep.TimeoutRate = float64(rep.Timeouts) / float64(rep.Sent)
+	if st := hist.Stat(); st.Count > 0 {
+		rep.Latency = LatencySummary{
+			Mean: st.Mean * 1e3,
+			P50:  st.P50 * 1e3,
+			P90:  st.P90 * 1e3,
+			P99:  st.P99 * 1e3,
+			P999: st.P999 * 1e3,
+			Max:  st.Max * 1e3,
+		}
+	}
+	rep.evaluate()
+	return rep, nil
+}
+
+// evaluate fills Violations and Pass from the report's SLO.
+func (r *Report) evaluate() {
+	check := func(cond bool, format string, args ...any) {
+		if cond {
+			r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+	slo := r.SLO
+	if r.Succeeded == 0 {
+		check(slo.P50Ms > 0 || slo.P99Ms > 0 || slo.P999Ms > 0,
+			"no successful requests to measure latency against the SLO")
+	} else {
+		check(slo.P50Ms > 0 && r.Latency.P50 > slo.P50Ms,
+			"p50 %.3fms exceeds SLO %.3fms", r.Latency.P50, slo.P50Ms)
+		check(slo.P99Ms > 0 && r.Latency.P99 > slo.P99Ms,
+			"p99 %.3fms exceeds SLO %.3fms", r.Latency.P99, slo.P99Ms)
+		check(slo.P999Ms > 0 && r.Latency.P999 > slo.P999Ms,
+			"p999 %.3fms exceeds SLO %.3fms", r.Latency.P999, slo.P999Ms)
+	}
+	check(slo.MaxErrorRate >= 0 && r.ErrorRate > slo.MaxErrorRate,
+		"error rate %.4f exceeds SLO %.4f", r.ErrorRate, slo.MaxErrorRate)
+	check(slo.MaxShedRate >= 0 && r.ShedRate > slo.MaxShedRate,
+		"shed rate %.4f exceeds SLO %.4f", r.ShedRate, slo.MaxShedRate)
+	check(slo.MaxTimeoutRate >= 0 && r.TimeoutRate > slo.MaxTimeoutRate,
+		"timeout rate %.4f exceeds SLO %.4f", r.TimeoutRate, slo.MaxTimeoutRate)
+	r.Pass = len(r.Violations) == 0
+}

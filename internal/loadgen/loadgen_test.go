@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var body = [][]byte{[]byte(`{"Workload": {"Requests": 10, "Pop": 0.2, "Timeliness": 3}}`)}
+
+// TestRunClassification drives a handler that answers a fixed status cycle
+// and pins the response taxonomy: 2xx → succeeded (and only those feed the
+// latency histogram), 429 → shed, everything else → errors.
+func TestRunClassification(t *testing.T) {
+	var n atomic.Int64
+	statuses := []int{200, 200, 429, 500}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/solve" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if r.Header.Get("X-Request-ID") == "" {
+			t.Error("loadgen request missing X-Request-ID")
+		}
+		w.WriteHeader(statuses[int(n.Add(1)-1)%len(statuses)])
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Target:   srv.URL,
+		RPS:      200,
+		Duration: 250 * time.Millisecond,
+		Bodies:   body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if rep.Succeeded == 0 || rep.Shed == 0 || rep.Errors == 0 {
+		t.Errorf("classification incomplete: %+v", rep)
+	}
+	if rep.Timeouts != 0 {
+		t.Errorf("unexpected timeouts: %d", rep.Timeouts)
+	}
+	if got := rep.Succeeded + rep.Shed + rep.Errors + rep.Dropped; got != rep.Sent {
+		t.Errorf("outcome counts %d do not account for %d sent", got, rep.Sent)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Errorf("implausible latency summary: %+v", rep.Latency)
+	}
+	if rep.ShedRate <= 0 || rep.ErrorRate <= 0 {
+		t.Errorf("rates not derived: shed=%g err=%g", rep.ShedRate, rep.ErrorRate)
+	}
+}
+
+// TestRunTimeoutClassification pins that a client deadline counts as a
+// timeout, not an error.
+func TestRunTimeoutClassification(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer func() { close(release); srv.Close() }()
+
+	rep, err := Run(context.Background(), Config{
+		Target:   srv.URL,
+		RPS:      100,
+		Duration: 150 * time.Millisecond,
+		Timeout:  20 * time.Millisecond,
+		Bodies:   body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timeouts == 0 {
+		t.Errorf("no timeouts recorded: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("deadline misclassified as error: %+v", rep)
+	}
+	if rep.TimeoutRate <= 0 {
+		t.Errorf("timeout rate not derived: %g", rep.TimeoutRate)
+	}
+}
+
+// TestSLOVerdict pins the pass/fail gate: a generous SLO passes, an
+// unattainable latency bound fails with a violation naming the quantile, and
+// a strict no-errors bound fails against a 500-only server.
+func TestSLOVerdict(t *testing.T) {
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ok.Close()
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+	base := Config{RPS: 100, Duration: 150 * time.Millisecond, Bodies: body}
+
+	cfg := base
+	cfg.Target = ok.URL
+	cfg.SLO = SLO{P99Ms: 60_000, MaxErrorRate: 0.5, MaxShedRate: 0.5, MaxTimeoutRate: 0.5}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || len(rep.Violations) != 0 {
+		t.Errorf("generous SLO failed: %v", rep.Violations)
+	}
+
+	cfg.SLO = SLO{P99Ms: 1e-9}
+	rep, err = Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || len(rep.Violations) == 0 {
+		t.Fatalf("unattainable p99 SLO passed: %+v", rep)
+	}
+
+	cfg = base
+	cfg.Target = broken.URL
+	cfg.SLO = SLO{MaxErrorRate: 0}
+	rep, err = Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Errorf("all-errors run passed a zero-error SLO: %+v", rep)
+	}
+	// Unchecked sentinel: the same broken server passes when no bound is set.
+	cfg.SLO = SLO{MaxErrorRate: Unchecked}
+	rep, err = Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("unchecked SLO produced violations: %v", rep.Violations)
+	}
+}
+
+// TestReportJSONShape pins the report's wire contract consumed by CI and the
+// README walkthrough.
+func TestReportJSONShape(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	rep, err := Run(context.Background(), Config{
+		Target: srv.URL, RPS: 100, Duration: 100 * time.Millisecond, Bodies: body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"target", "sent", "shed_rate", "error_rate", "timeout_rate", "latency_ms", "pass"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+	lat, ok := doc["latency_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency_ms is %T", doc["latency_ms"])
+	}
+	for _, q := range []string{"p50", "p99", "p999"} {
+		if _, ok := lat[q]; !ok {
+			t.Errorf("latency summary missing %q", q)
+		}
+	}
+}
+
+// TestRunValidation pins the harness-failure contract.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Bodies: body}); err == nil {
+		t.Error("missing target accepted")
+	}
+	if _, err := Run(context.Background(), Config{Target: "http://127.0.0.1:1"}); err == nil {
+		t.Error("missing bodies accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Target: "http://127.0.0.1:1", Bodies: body}); err == nil {
+		t.Error("pre-cancelled context produced a report")
+	}
+}

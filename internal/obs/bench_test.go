@@ -51,6 +51,45 @@ func BenchmarkRegistryObserve(b *testing.B) {
 	}
 }
 
+// BenchmarkHistogramObserve bounds the bucketed-histogram hot path itself
+// (no registry lookup): a handful of atomic ops per sample, 0 allocs/op by
+// contract — CI greps for that figure (TestObserveZeroAlloc pins the same
+// bound in-test, registry lookup included).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-4)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-4
+		for pb.Next() {
+			h.Observe(v)
+			v += 1e-4
+		}
+	})
+}
+
+// BenchmarkHistogramStat bounds the read path (snapshot/quantile
+// materialisation over a populated histogram).
+func BenchmarkHistogramStat(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100_000; i++ {
+		h.Observe(float64(i%1000) * 1e-4)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if st := h.Stat(); st.Count == 0 {
+			b.Fatal("empty stat")
+		}
+	}
+}
+
 func BenchmarkRegistrySpanNoLogger(b *testing.B) {
 	r := NewRegistry(nil)
 	b.ReportAllocs()

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log-bucketed (HDR-style) histogram: every sample
+// lands in one of a fixed set of buckets whose boundaries subdivide each
+// power of two into 2^subBits linear sub-buckets, so Quantile answers carry a
+// bounded relative error with bounded memory and Observe is wait-free — one
+// atomic add per field, no locks, no allocations.
+//
+// Layout. A positive value v with binary exponent e in [minExp, maxExp) falls
+// into the bucket whose index packs (e, top subBits mantissa bits); the
+// bucket spans [2^e·(1+m/S), 2^e·(1+(m+1)/S)) with S = 2^subBits, so the
+// ratio of its bounds is at most 1+1/S and the geometric-midpoint
+// representative is within 1/(2S) ≈ 1.6% (S = 32) of any sample in it —
+// the documented RelativeError bound. Values below 2^minExp (including zero,
+// negatives and NaN) share the underflow bucket, whose representative is the
+// exact tracked minimum; values at or above 2^maxExp saturate into the top
+// bucket, whose representative is the exact tracked maximum. Exact count,
+// sum, sum of squares, min and max are kept alongside, so the existing
+// moment statistics (mean, stddev) stay exact, not bucketed.
+//
+// Memory. numBuckets = (maxExp−minExp)·S = 2048 counters of 8 bytes — 16 KiB
+// per histogram, fixed, regardless of sample count or range.
+type Histogram struct {
+	count  atomic.Uint64
+	sum    atomicFloat
+	sumSq  atomicFloat
+	min    atomicFloat
+	max    atomicFloat
+	under  atomic.Uint64 // samples below 2^minExp (incl. zero and negatives)
+	counts [numBuckets]atomic.Uint64
+}
+
+const (
+	// subBits sub-divides each power of two into 2^subBits linear buckets.
+	subBits  = 5
+	subCount = 1 << subBits
+	subMask  = subCount - 1
+	// [2^minExp, 2^maxExp) is the resolvable range: ~9.1e-13 .. ~1.7e7.
+	// Seconds-scale latencies (nanoseconds to months) and solver residuals
+	// both fit with room to spare.
+	minExp = -40
+	maxExp = 24
+
+	numBuckets = (maxExp - minExp) * subCount
+
+	// RelativeError bounds |Quantile(p) − exact| / exact for samples inside
+	// the resolvable range: half the worst-case bucket-bound ratio 1+1/S.
+	RelativeError = 1.0 / (2 * subCount)
+
+	// keyOffset maps the packed (biased exponent, mantissa) key of 2^minExp
+	// onto bucket index 0.
+	keyOffset = (minExp + 1023) << subBits
+)
+
+// minResolvable is the lower edge of bucket 0.
+var minResolvable = math.Ldexp(1, minExp)
+
+// NewHistogram returns an empty histogram. Use the constructor, not the zero
+// value: the min/max cells start at ±Inf so concurrent first observations
+// merge without a seeding race.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// bucketIndex maps a value in [2^minExp, +Inf) onto its bucket. The packed
+// key is the float's biased exponent and top subBits mantissa bits, read in
+// one shift — the float encoding already orders (exponent, mantissa)
+// lexicographically for positive values.
+func bucketIndex(v float64) int {
+	idx := int(math.Float64bits(v)>>(52-subBits)) - keyOffset
+	if idx >= numBuckets {
+		idx = numBuckets - 1 // saturate: representative clamps to max
+	}
+	return idx
+}
+
+// bucketUpper returns the exclusive upper bound of bucket idx.
+func bucketUpper(idx int) float64 {
+	e := minExp + idx>>subBits
+	m := idx & subMask
+	return math.Ldexp(1+float64(m+1)/subCount, e)
+}
+
+// bucketLower returns the inclusive lower bound of bucket idx.
+func bucketLower(idx int) float64 {
+	e := minExp + idx>>subBits
+	m := idx & subMask
+	return math.Ldexp(1+float64(m)/subCount, e)
+}
+
+// Observe records one sample. Wait-free, zero allocations.
+func (h *Histogram) Observe(v float64) {
+	h.count.Add(1)
+	h.min.mergeMin(v)
+	h.max.mergeMax(v)
+	h.sum.add(v)
+	h.sumSq.add(v * v)
+	if !(v >= minResolvable) { // also catches NaN
+		h.under.Add(1)
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+}
+
+// Stat snapshots the histogram into the exported summary: the exact moment
+// statistics plus the sparse cumulative bucket list the quantile and
+// Prometheus renderers consume.
+func (h *Histogram) Stat() HistStat {
+	st := HistStat{Count: h.count.Load()}
+	if st.Count == 0 {
+		return st
+	}
+	st.Sum = h.sum.load()
+	st.Min = h.min.load()
+	st.Max = h.max.load()
+	mean := st.Sum / float64(st.Count)
+	st.Mean = mean
+	if varc := h.sumSq.load()/float64(st.Count) - mean*mean; varc > 0 {
+		st.StdDev = math.Sqrt(varc)
+	}
+
+	// Sparse cumulative buckets: one entry per non-empty bucket, upper bound
+	// + cumulative count, underflow first at le = 2^minExp lower edge.
+	cum := uint64(0)
+	if u := h.under.Load(); u > 0 {
+		cum = u
+		st.Buckets = append(st.Buckets, HistBucket{UpperBound: minResolvable, Count: cum})
+	}
+	for i := 0; i < numBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		st.Buckets = append(st.Buckets, HistBucket{UpperBound: bucketUpper(i), Count: cum})
+	}
+	st.P50 = st.Quantile(0.50)
+	st.P90 = st.Quantile(0.90)
+	st.P99 = st.Quantile(0.99)
+	st.P999 = st.Quantile(0.999)
+	return st
+}
+
+// Quantile is a point read of one quantile (see HistStat.Quantile for the
+// estimation contract). Prefer Stat when reading several.
+func (h *Histogram) Quantile(p float64) float64 { return h.Stat().Quantile(p) }
+
+// HistBucket is one non-empty bucket of a histogram snapshot: the exclusive
+// upper bound and the cumulative sample count at or below it (the Prometheus
+// `le` convention).
+type HistBucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// Quantile estimates the p-quantile (p in [0, 1]) from the snapshot's bucket
+// counts using the nearest-rank definition. For samples inside the resolvable
+// range the estimate is the geometric midpoint of the owning bucket and is
+// within RelativeError of the exact sorted-sample quantile; ranks falling in
+// the underflow (or saturated top) bucket return the exact tracked Min (Max).
+// The result is always clamped into [Min, Max]. An empty histogram returns
+// NaN.
+func (s HistStat) Quantile(p float64) float64 {
+	if s.Count == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	v := s.Max
+	for i, b := range s.Buckets {
+		if b.Count < rank {
+			continue
+		}
+		switch {
+		case b.UpperBound <= minResolvable:
+			v = s.Min // underflow bucket: below bucketed resolution
+		case i == len(s.Buckets)-1 && b.UpperBound >= bucketUpper(numBuckets-1):
+			v = s.Max // saturated top bucket
+		default:
+			lo := bucketLowerOf(b.UpperBound)
+			v = math.Sqrt(lo * b.UpperBound) // geometric midpoint
+		}
+		break
+	}
+	if v < s.Min {
+		v = s.Min
+	}
+	if v > s.Max {
+		v = s.Max
+	}
+	return v
+}
+
+// bucketLowerOf recovers the canonical lower bound of the bucket whose upper
+// bound is le, by locating the bucket owning the value just under le.
+func bucketLowerOf(le float64) float64 {
+	return bucketLower(bucketIndex(math.Nextafter(le, 0)))
+}
+
+// atomicFloat is a float64 cell updated by CAS loops. Comparisons happen in
+// float space (not bit space), so negative values and mixed signs order
+// correctly; NaN never replaces an existing value in the merge operations.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) mergeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if !(v < math.Float64frombits(old)) {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) mergeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if !(v > math.Float64frombits(old)) {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank quantile of a sorted sample.
+func exactQuantile(sorted []float64, p float64) float64 {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileAccuracyProperty is the documented accuracy contract: for
+// samples inside the resolvable range, Quantile(p) lands within
+// RelativeError of the exact sorted-sample nearest-rank quantile, across
+// several distributions spanning many orders of magnitude.
+func TestQuantileAccuracyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() float64{
+		"uniform":     func() float64 { return 1e-4 + rng.Float64() },
+		"lognormal":   func() float64 { return math.Exp(rng.NormFloat64() * 3) },
+		"exponential": func() float64 { return rng.ExpFloat64() * 1e-3 },
+		"latency-mix": func() float64 { // bimodal: cache hits ~100µs, solves ~50ms
+			if rng.Float64() < 0.8 {
+				return 1e-4 * (1 + rng.Float64())
+			}
+			return 5e-2 * (1 + rng.Float64())
+		},
+	}
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+
+	for name, draw := range distributions {
+		h := NewHistogram()
+		samples := make([]float64, 20000)
+		for i := range samples {
+			v := draw()
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+		st := h.Stat()
+		for _, p := range quantiles {
+			got := st.Quantile(p)
+			want := exactQuantile(samples, p)
+			relErr := math.Abs(got-want) / want
+			if relErr > RelativeError+1e-9 {
+				t.Errorf("%s: Quantile(%g) = %g, exact %g: relative error %.4f > bound %.4f",
+					name, p, got, want, relErr, RelativeError)
+			}
+		}
+		if st.P50 != st.Quantile(0.5) || st.P999 != st.Quantile(0.999) {
+			t.Errorf("%s: precomputed quantile fields disagree with Quantile()", name)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistStat
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile must be NaN")
+	}
+
+	h := NewHistogram()
+	h.Observe(42)
+	st := h.Stat()
+	for _, p := range []float64{0, 0.5, 1} {
+		got := st.Quantile(p)
+		if math.Abs(got-42)/42 > RelativeError {
+			t.Errorf("single sample: Quantile(%g) = %g, want ≈42", p, got)
+		}
+	}
+
+	// Out-of-range samples: zero and negatives live in the underflow bucket
+	// and quantiles falling there answer with the exact minimum; a huge value
+	// saturates the top bucket and answers with the exact maximum.
+	h = NewHistogram()
+	h.Observe(-3)
+	h.Observe(0)
+	h.Observe(1e300)
+	st = h.Stat()
+	if got := st.Quantile(0.25); got != -3 {
+		t.Errorf("underflow quantile = %g, want exact min -3", got)
+	}
+	if got := st.Quantile(1); got != 1e300 {
+		t.Errorf("saturated quantile = %g, want exact max 1e300", got)
+	}
+	if st.Min != -3 || st.Max != 1e300 || st.Count != 3 {
+		t.Errorf("moments wrong: %+v", st)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram()
+	vals := []float64{0.001, 0.001, 0.01, 0.1, 1, 10}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	st := h.Stat()
+	var prev HistBucket
+	for i, b := range st.Buckets {
+		if i > 0 {
+			if b.UpperBound <= prev.UpperBound {
+				t.Errorf("bucket %d: le %g not increasing (prev %g)", i, b.UpperBound, prev.UpperBound)
+			}
+			if b.Count < prev.Count {
+				t.Errorf("bucket %d: cumulative count %d decreased (prev %d)", i, b.Count, prev.Count)
+			}
+		}
+		prev = b
+	}
+	if last := st.Buckets[len(st.Buckets)-1]; last.Count != uint64(len(vals)) {
+		t.Errorf("last cumulative count = %d, want %d", last.Count, len(vals))
+	}
+	// Every sample must sit at or below the upper bound of some bucket whose
+	// count includes it: spot-check containment of the max.
+	if ub := st.Buckets[len(st.Buckets)-1].UpperBound; ub < 10 {
+		t.Errorf("max sample 10 above last bucket bound %g", ub)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; -race
+// verifies the synchronisation and the totals verify no lost updates (the
+// counters are wait-free atomic adds, so every sample must land).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 16, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.ExpFloat64())
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := h.Stat()
+	if st.Count != workers*per {
+		t.Errorf("count = %d, want %d", st.Count, workers*per)
+	}
+	if got := st.Buckets[len(st.Buckets)-1].Count; got != workers*per {
+		t.Errorf("cumulative bucket total = %d, want %d", got, workers*per)
+	}
+	if st.Min < 0 || st.Max <= st.Min || st.Mean <= 0 {
+		t.Errorf("implausible moments after concurrent load: %+v", st)
+	}
+	if p99 := st.Quantile(0.99); p99 < st.Quantile(0.5) || p99 > st.Max {
+		t.Errorf("quantiles disordered: p50=%g p99=%g max=%g", st.Quantile(0.5), p99, st.Max)
+	}
+}
+
+// TestObserveZeroAlloc pins the hot-path contract the serving tier depends
+// on: recording a sample into a live registry histogram performs no heap
+// allocations (the CI benchmark guard enforces the same bound).
+func TestObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Observe("serve.request.seconds", 0.001) // create outside the measured loop
+	if avg := testing.AllocsPerRun(1000, func() {
+		r.Observe("serve.request.seconds", 0.0042)
+	}); avg != 0 {
+		t.Errorf("Registry.Observe allocates %.1f allocs/op, want 0", avg)
+	}
+	h := NewHistogram()
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Observe(3.14)
+	}); avg != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestBucketLayoutInvariants(t *testing.T) {
+	for _, idx := range []int{0, 1, subCount - 1, subCount, numBuckets / 2, numBuckets - 1} {
+		lo, hi := bucketLower(idx), bucketUpper(idx)
+		if !(lo < hi) {
+			t.Fatalf("bucket %d: empty span [%g, %g)", idx, lo, hi)
+		}
+		if ratio := hi / lo; ratio > 1+1.0/subCount+1e-12 {
+			t.Errorf("bucket %d: bound ratio %g exceeds 1+1/%d", idx, ratio, subCount)
+		}
+		// Samples at the bounds map back into the right bucket.
+		if got := bucketIndex(lo); got != idx {
+			t.Errorf("bucketIndex(lower(%d)) = %d", idx, got)
+		}
+		if idx+1 < numBuckets {
+			if got := bucketIndex(math.Nextafter(hi, 0)); got != idx {
+				t.Errorf("bucketIndex(just under upper(%d)) = %d", idx, got)
+			}
+		}
+	}
+	if bucketLower(0) != minResolvable {
+		t.Errorf("bucket 0 lower bound %g, want %g", bucketLower(0), minResolvable)
+	}
+}

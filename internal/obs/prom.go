@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package renders.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// JSONContentType is the Content-Type of the default JSON snapshot.
+const JSONContentType = "application/json; charset=utf-8"
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// version 0.0.4: dotted metric names become underscore-separated, counters
+// gain the conventional _total suffix, and histograms render the cumulative
+// le-bucket series plus _sum and _count. Families are sorted by name, so
+// equal snapshots produce byte-identical expositions (golden-file tested).
+func (s Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %s\n", pn, pn, promFloat(s.Counters[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		for _, b := range h.Buckets {
+			if math.IsInf(b.UpperBound, 1) {
+				continue // folded into the mandatory +Inf bucket below
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, promFloat(b.UpperBound), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: write prometheus exposition: %w", err)
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus identifier charset
+// [a-zA-Z0-9_:], with a leading underscore when the name starts with a digit.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// wantsProm resolves the /metrics representation: an explicit
+// ?format=prom|json query override wins; otherwise an Accept header
+// preferring a text exposition (what Prometheus scrapers send) selects the
+// 0.0.4 text format, and everything else keeps the backward-compatible JSON
+// snapshot.
+func wantsProm(req *http.Request) bool {
+	switch strings.ToLower(req.URL.Query().Get("format")) {
+	case "prom", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a deterministic registry covering every metric kind
+// (runtime metrics stay off: their values vary run to run).
+func goldenRegistry() *Registry {
+	r := NewRegistry(nil)
+	r.Add("serve.solve.requests", 128)
+	r.Add("pde.hjb.sweeps", 2.5) // fractional counters must render
+	r.Gauge("serve.ready", 1)
+	r.Gauge("core.solver.last_residual", 3.25e-7)
+	for _, v := range []float64{0.0001, 0.0001, 0.00025, 0.004, 0.004, 0.004, 0.062, 1.5} {
+		r.Observe("serve.request.seconds", v)
+	}
+	r.Observe("queue.depth", 0) // underflow bucket exercises le=2^-40
+	return r
+}
+
+// TestWritePromGolden locks the Prometheus text exposition byte for byte.
+// Regenerate deliberately with `go test ./internal/obs -run PromGolden -update`
+// after an intentional format change.
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/metrics.prom.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePromShape sanity-checks the exposition grammar independent of the
+// golden bytes: type lines, counter suffix, cumulative le buckets ending in
+// +Inf, and sum/count pairs.
+func TestWritePromShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE serve_solve_requests_total counter",
+		"serve_solve_requests_total 128",
+		"pde_hjb_sweeps_total 2.5",
+		"# TYPE serve_ready gauge",
+		"# TYPE serve_request_seconds histogram",
+		`serve_request_seconds_bucket{le="+Inf"} 8`,
+		"serve_request_seconds_sum ",
+		"serve_request_seconds_count 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") && strings.Contains(out, "_seconds.") {
+		t.Errorf("dotted metric name leaked into exposition:\n%s", out)
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	r := goldenRegistry()
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+
+	get := func(path string, accept string) (string, string) {
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), buf.String()
+	}
+
+	// Default: JSON with an explicit Content-Type (backward compatible).
+	ct, body := get("/", "")
+	if ct != JSONContentType || !strings.Contains(body, `"counters"`) {
+		t.Errorf("default: Content-Type %q body %.60q, want JSON snapshot", ct, body)
+	}
+	// A Prometheus scraper's Accept header selects the text exposition.
+	ct, body = get("/", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	if ct != PromContentType || !strings.Contains(body, "serve_solve_requests_total") {
+		t.Errorf("scraper accept: Content-Type %q body %.60q, want prometheus text", ct, body)
+	}
+	// Query overrides beat the Accept header, both ways.
+	ct, _ = get("/?format=prom", "application/json")
+	if ct != PromContentType {
+		t.Errorf("?format=prom: Content-Type %q, want prometheus text", ct)
+	}
+	ct, body = get("/?format=json", "text/plain")
+	if ct != JSONContentType || !strings.Contains(body, `"histograms"`) {
+		t.Errorf("?format=json: Content-Type %q body %.60q, want JSON snapshot", ct, body)
+	}
+}

@@ -19,7 +19,9 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*counter
 	gauges   map[string]*gauge
-	hists    map[string]*histogram
+	hists    map[string]*Histogram
+
+	runtimeMetrics atomic.Bool
 }
 
 // NewRegistry returns an empty Registry. logger may be nil (metrics without
@@ -29,7 +31,7 @@ func NewRegistry(logger *slog.Logger) *Registry {
 		logger:   logger,
 		counters: make(map[string]*counter),
 		gauges:   make(map[string]*gauge),
-		hists:    make(map[string]*histogram),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -56,31 +58,6 @@ type gauge struct{ bits atomic.Uint64 }
 
 func (g *gauge) set(v float64)  { g.bits.Store(math.Float64bits(v)) }
 func (g *gauge) value() float64 { return math.Float64frombits(g.bits.Load()) }
-
-// histogram keeps streaming moments of the samples. A full bucketed sketch is
-// overkill for solver telemetry: min/mean/max plus the spread answer "how
-// long does a sweep take, and how variable is it".
-type histogram struct {
-	mu       sync.Mutex
-	count    uint64
-	sum      float64
-	sumSq    float64
-	min, max float64
-}
-
-func (h *histogram) observe(v float64) {
-	h.mu.Lock()
-	if h.count == 0 || v < h.min {
-		h.min = v
-	}
-	if h.count == 0 || v > h.max {
-		h.max = v
-	}
-	h.count++
-	h.sum += v
-	h.sumSq += v * v
-	h.mu.Unlock()
-}
 
 // lookup returns m[name] under the read lock, or creates it under the write
 // lock. The triple of typed helpers below keeps the fast path monomorphic.
@@ -116,7 +93,7 @@ func (r *Registry) gaugeFor(name string) *gauge {
 	return g
 }
 
-func (r *Registry) histFor(name string) *histogram {
+func (r *Registry) histFor(name string) *Histogram {
 	r.mu.RLock()
 	h := r.hists[name]
 	r.mu.RUnlock()
@@ -126,11 +103,22 @@ func (r *Registry) histFor(name string) *histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
-		h = &histogram{}
+		h = NewHistogram()
 		r.hists[name] = h
 	}
 	return h
 }
+
+// Histogram returns the named live histogram, creating it when absent — the
+// point-read path for quantile queries (e.g. an SLO probe asking for
+// `Quantile(0.99)` of "serve.request.seconds") without a full Snapshot.
+func (r *Registry) Histogram(name string) *Histogram { return r.histFor(name) }
+
+// SetRuntimeMetrics toggles Go runtime telemetry (goroutines, heap bytes, GC
+// pause histogram, GOMAXPROCS — the go.* names) being sampled into every
+// Snapshot. Off by default so snapshots of equal workloads stay
+// byte-identical; long-running daemons switch it on.
+func (r *Registry) SetRuntimeMetrics(on bool) { r.runtimeMetrics.Store(on) }
 
 // Add implements Recorder.
 func (r *Registry) Add(name string, delta float64) { r.counterFor(name).add(delta) }
@@ -139,7 +127,7 @@ func (r *Registry) Add(name string, delta float64) { r.counterFor(name).add(delt
 func (r *Registry) Gauge(name string, v float64) { r.gaugeFor(name).set(v) }
 
 // Observe implements Recorder.
-func (r *Registry) Observe(name string, v float64) { r.histFor(name).observe(v) }
+func (r *Registry) Observe(name string, v float64) { r.histFor(name).Observe(v) }
 
 // Start implements Recorder.
 func (r *Registry) Start(name string) Span {

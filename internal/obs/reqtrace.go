@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ReqTrace accumulates the per-stage attribution of one request as it flows
+// through the serving tier: queue wait, cache lookup, singleflight wait, the
+// HJB/FPK sweeps of the solve it triggered, fixed-point iteration counts,
+// resilience retries. It rides the context (WithReqTrace / ReqTraceFrom)
+// across the serve → engine → resilience layers, and its stages land in the
+// structured access log next to the request ID. All methods are safe for
+// concurrent use and no-ops on a nil receiver, so instrumented layers never
+// nil-check.
+type ReqTrace struct {
+	// ID is the request correlation ID (the X-Request-ID value).
+	ID string
+
+	mu     sync.Mutex
+	stages []StageSample
+}
+
+// StageSample is one accumulated stage of a request: a total duration, a
+// count, or both (e.g. N fixed-point iterations taking D in total).
+type StageSample struct {
+	Stage string
+	Dur   time.Duration
+	N     int64
+}
+
+// Observe accumulates d (and one occurrence) into the named stage.
+func (t *ReqTrace) Observe(stage string, d time.Duration) { t.merge(stage, d, 1) }
+
+// Count accumulates n occurrences into the named stage without a duration
+// (e.g. fixed-point iterations, retries).
+func (t *ReqTrace) Count(stage string, n int64) { t.merge(stage, 0, n) }
+
+func (t *ReqTrace) merge(stage string, d time.Duration, n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.stages {
+		if t.stages[i].Stage == stage {
+			t.stages[i].Dur += d
+			t.stages[i].N += n
+			return
+		}
+	}
+	t.stages = append(t.stages, StageSample{Stage: stage, Dur: d, N: n})
+}
+
+// Stages returns a name-sorted copy of the accumulated stages.
+func (t *ReqTrace) Stages() []StageSample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]StageSample(nil), t.stages...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// LogAttrs renders the stages as slog attributes for the access log: one
+// "<stage>_ms" attribute per timed stage, one "<stage>" count attribute per
+// counted stage.
+func (t *ReqTrace) LogAttrs() []slog.Attr {
+	stages := t.Stages()
+	attrs := make([]slog.Attr, 0, len(stages))
+	for _, st := range stages {
+		if st.Dur > 0 {
+			attrs = append(attrs, slog.Float64(st.Stage+"_ms", float64(st.Dur)/1e6))
+		} else {
+			attrs = append(attrs, slog.Int64(st.Stage, st.N))
+		}
+	}
+	return attrs
+}
+
+type reqTraceKey struct{}
+
+// WithReqTrace attaches a request trace to the context.
+func WithReqTrace(ctx context.Context, t *ReqTrace) context.Context {
+	return context.WithValue(ctx, reqTraceKey{}, t)
+}
+
+// ReqTraceFrom returns the context's request trace, or nil when the request
+// is untraced (every ReqTrace method tolerates the nil).
+func ReqTraceFrom(ctx context.Context) *ReqTrace {
+	t, _ := ctx.Value(reqTraceKey{}).(*ReqTrace)
+	return t
+}
+
+// RequestIDFrom returns the context's request correlation ID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	if t := ReqTraceFrom(ctx); t != nil {
+		return t.ID
+	}
+	return ""
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	rtmetrics "runtime/metrics"
+)
+
+// collectRuntime samples Go runtime telemetry into the snapshot under go.*
+// names: goroutine count, GOMAXPROCS and live heap bytes as gauges, the
+// cumulative GC cycle and allocation totals as counters, and the runtime's
+// own GC pause distribution as a histogram. Sampled at snapshot time (not on
+// a background ticker), so a registry without scrapes pays nothing.
+func collectRuntime(s *Snapshot) {
+	s.Gauges["go.goroutines"] = float64(runtime.NumGoroutine())
+	s.Gauges["go.gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
+
+	samples := []rtmetrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	rtmetrics.Read(samples)
+	for _, smp := range samples {
+		switch smp.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if smp.Value.Kind() == rtmetrics.KindUint64 {
+				s.Gauges["go.heap.bytes"] = float64(smp.Value.Uint64())
+			}
+		case "/gc/heap/allocs:bytes":
+			if smp.Value.Kind() == rtmetrics.KindUint64 {
+				s.Counters["go.heap.allocs.bytes"] = float64(smp.Value.Uint64())
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if smp.Value.Kind() == rtmetrics.KindUint64 {
+				s.Counters["go.gc.cycles"] = float64(smp.Value.Uint64())
+			}
+		case "/gc/pauses:seconds":
+			if smp.Value.Kind() == rtmetrics.KindFloat64Histogram {
+				if st, ok := fromRuntimeHistogram(smp.Value.Float64Histogram()); ok {
+					s.Histograms["go.gc.pauses.seconds"] = st
+				}
+			}
+		}
+	}
+}
+
+// fromRuntimeHistogram converts a runtime/metrics bucketed histogram into the
+// snapshot shape. The runtime reports only bucket counts, so Sum/Mean are
+// midpoint estimates and Min/Max are the bounds of the outermost non-empty
+// buckets; quantiles inherit the runtime's bucket resolution.
+func fromRuntimeHistogram(h *rtmetrics.Float64Histogram) (HistStat, bool) {
+	if h == nil || len(h.Buckets) != len(h.Counts)+1 {
+		return HistStat{}, false
+	}
+	var st HistStat
+	first := true
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		st.Count += c
+		st.Sum += float64(c) * (lo + hi) / 2
+		if first {
+			st.Min = lo
+			first = false
+		}
+		st.Max = hi
+		st.Buckets = append(st.Buckets, HistBucket{UpperBound: h.Buckets[i+1], Count: st.Count})
+	}
+	if st.Count == 0 {
+		return HistStat{}, false
+	}
+	st.Mean = st.Sum / float64(st.Count)
+	st.P50 = st.Quantile(0.50)
+	st.P90 = st.Quantile(0.90)
+	st.P99 = st.Quantile(0.99)
+	st.P999 = st.Quantile(0.999)
+	return st, true
+}

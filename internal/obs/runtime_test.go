@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsOptIn(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Add("app.work", 1)
+
+	// Off by default: snapshots stay workload-deterministic.
+	if s := r.Snapshot(); len(s.Gauges) != 0 {
+		t.Errorf("runtime metrics leaked into a default snapshot: %v", s.Gauges)
+	}
+
+	r.SetRuntimeMetrics(true)
+	runtime.GC() // guarantee at least one GC cycle for the pause histogram
+	s := r.Snapshot()
+	if g := s.Gauges["go.goroutines"]; g < 1 {
+		t.Errorf("go.goroutines = %g, want ≥ 1", g)
+	}
+	if g := s.Gauges["go.gomaxprocs"]; g < 1 {
+		t.Errorf("go.gomaxprocs = %g, want ≥ 1", g)
+	}
+	if g := s.Gauges["go.heap.bytes"]; g <= 0 {
+		t.Errorf("go.heap.bytes = %g, want > 0", g)
+	}
+	if c := s.Counters["go.gc.cycles"]; c < 1 {
+		t.Errorf("go.gc.cycles = %g, want ≥ 1", c)
+	}
+	pauses, ok := s.Histograms["go.gc.pauses.seconds"]
+	if !ok || pauses.Count == 0 {
+		t.Fatalf("go.gc.pauses.seconds missing or empty: %+v", pauses)
+	}
+	if !(pauses.P99 >= pauses.P50) || pauses.Mean <= 0 {
+		t.Errorf("implausible GC pause stats: %+v", pauses)
+	}
+
+	// The runtime family renders into the Prometheus exposition too.
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_goroutines", "go_gc_cycles_total", "# TYPE go_gc_pauses_seconds histogram"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"expvar"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -14,7 +13,11 @@ import (
 	"time"
 )
 
-// HistStat is the exported summary of one histogram.
+// HistStat is the exported summary of one histogram: the exact moment
+// statistics of the PR-1 shape, extended with bounded-error quantiles and the
+// sparse cumulative bucket list they (and the Prometheus renderer) are
+// computed from. Old snapshots decode unchanged — the new fields are
+// omitempty additions.
 type HistStat struct {
 	Count  uint64  `json:"count"`
 	Sum    float64 `json:"sum"`
@@ -22,6 +25,13 @@ type HistStat struct {
 	Max    float64 `json:"max"`
 	Mean   float64 `json:"mean"`
 	StdDev float64 `json:"stddev"`
+
+	P50  float64 `json:"p50,omitempty"`
+	P90  float64 `json:"p90,omitempty"`
+	P99  float64 `json:"p99,omitempty"`
+	P999 float64 `json:"p999,omitempty"`
+
+	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a Registry. It
@@ -41,7 +51,6 @@ func (r *Registry) Snapshot() Snapshot {
 		Histograms: make(map[string]HistStat),
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	for name, c := range r.counters {
 		s.Counters[name] = c.value()
 	}
@@ -49,17 +58,11 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.value()
 	}
 	for name, h := range r.hists {
-		h.mu.Lock()
-		st := HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-		if h.count > 0 {
-			st.Mean = h.sum / float64(h.count)
-			varc := h.sumSq/float64(h.count) - st.Mean*st.Mean
-			if varc > 0 {
-				st.StdDev = math.Sqrt(varc)
-			}
-		}
-		h.mu.Unlock()
-		s.Histograms[name] = st
+		s.Histograms[name] = h.Stat()
+	}
+	r.mu.RUnlock()
+	if r.runtimeMetrics.Load() {
+		collectRuntime(&s)
 	}
 	return s
 }
@@ -146,11 +149,21 @@ func (r *Registry) PublishExpvar(name string) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
-// ServeHTTP implements http.Handler by answering with the JSON snapshot, so
-// a Registry can be mounted directly as a /metrics endpoint.
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = r.Snapshot().WriteJSON(w)
+// ServeHTTP implements http.Handler so a Registry can be mounted directly as
+// a /metrics endpoint. The representation is content-negotiated: JSON (the
+// backward-compatible default) or Prometheus text exposition 0.0.4 when the
+// Accept header asks for a text format or the request carries an explicit
+// ?format=prom override (?format=json forces JSON for curl ergonomics). Both
+// answers set an explicit Content-Type.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	s := r.Snapshot()
+	if wantsProm(req) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = s.WriteProm(w)
+		return
+	}
+	w.Header().Set("Content-Type", JSONContentType)
+	_ = s.WriteJSON(w)
 }
 
 // Serve starts an HTTP server on addr exposing

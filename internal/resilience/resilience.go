@@ -163,6 +163,10 @@ func (e Escalation) Solve(ctx context.Context, s *engine.Session, cfg engine.Con
 		ctx = context.Background()
 	}
 	rec := obs.OrNop(cfg.Obs)
+	// Request-scoped correlation: a traced request (the serving tier) gets
+	// its escalation attempts attributed in the access log, and the retry
+	// events below carry its ID.
+	tr := obs.ReqTraceFrom(ctx)
 
 	var firstErr error
 	var bestPartial *engine.Equilibrium
@@ -200,12 +204,14 @@ func (e Escalation) Solve(ctx context.Context, s *engine.Session, cfg engine.Con
 		}
 		esc := e.escalate(cfg, attempt)
 		rec.Add("resilience.retries", 1)
+		tr.Count("resilience_retries", 1)
 		if rec.Enabled() {
 			rec.Event("resilience.retry",
 				slog.Int("attempt", attempt),
 				slog.Float64("damping", esc.Damping),
 				slog.String("scheme", esc.Scheme),
 				slog.Int("steps", esc.Steps),
+				slog.String("request_id", obs.RequestIDFrom(ctx)),
 				slog.String("cause", err.Error()))
 		}
 		retrySess, serr := engine.NewSession(esc)

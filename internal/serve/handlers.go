@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mec"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -105,7 +106,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.instrument(mux)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -232,6 +233,11 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(s.lifeCtx, s.clampTimeout(req.TimeoutMs))
 	defer cancel()
+	if tr := obs.ReqTraceFrom(r.Context()); tr != nil {
+		// Epoch preparation runs under the daemon's life context; carry the
+		// request's trace across so per-content solves attribute to it.
+		ctx = obs.WithReqTrace(ctx, tr)
+	}
 	ectx := policy.EpochContext{
 		Params:    p,
 		Catalog:   catalog,

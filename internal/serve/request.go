@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// requestIDHeader is the correlation header honoured on ingress and always
+// emitted on egress: a client-supplied ID is propagated, otherwise the daemon
+// generates one. The same ID rides the request context (obs.ReqTrace) through
+// the solver stack and lands in the access log, solver retry events and error
+// responses.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds propagated client IDs so a hostile header cannot
+// bloat logs.
+const maxRequestIDLen = 128
+
+var reqIDFallback atomic.Uint64
+
+// newRequestID returns a 16-hex-digit random correlation ID (a process-local
+// counter stands in if the system randomness source fails).
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqIDFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied correlation ID: printable
+// ASCII, bounded length; anything else is discarded (a fresh ID is
+// generated).
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x21 || id[i] > 0x7e {
+			return ""
+		}
+	}
+	return id
+}
+
+// statusRecorder captures the status code and body size for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the daemon's mux with the request-scoped observability
+// layer: X-Request-ID honoured/emitted, an obs.ReqTrace attached to the
+// context (the engine and resilience layers record their stage timings into
+// it), the request-latency histogram, and one structured access-log record
+// per API request — promoted to a warning with its full stage breakdown when
+// the request exceeds the slow-request threshold.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := sanitizeRequestID(r.Header.Get(requestIDHeader))
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		tr := &obs.ReqTrace{ID: id}
+		rw := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rw, r.WithContext(obs.WithReqTrace(r.Context(), tr)))
+		if rw.status == 0 {
+			rw.status = http.StatusOK
+		}
+		d := time.Since(start)
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			return // health probes and telemetry scrapes stay out of the API stats
+		}
+		s.rec.Observe("serve.request.seconds", d.Seconds())
+		s.logAccess(r, rw, id, d, tr)
+	})
+}
+
+// logAccess emits one structured record per API request. Requests slower than
+// SlowRequestThreshold log at warning level, so tail-latency offenders stand
+// out with their per-stage attribution attached.
+func (s *Server) logAccess(r *http.Request, rw *statusRecorder, id string, d time.Duration, tr *obs.ReqTrace) {
+	log := s.cfg.AccessLog
+	if log == nil {
+		return
+	}
+	slow := d >= s.cfg.SlowRequestThreshold
+	level, msg := slog.LevelInfo, "request"
+	if slow {
+		level, msg = slog.LevelWarn, "slow request"
+		s.rec.Add("serve.request.slow", 1)
+	}
+	if !log.Enabled(r.Context(), level) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 8)
+	attrs = append(attrs,
+		slog.String("request_id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", rw.status),
+		slog.Int64("bytes", rw.bytes),
+		slog.Float64("duration_ms", float64(d)/1e6),
+	)
+	if slow {
+		attrs = append(attrs, slog.Float64("slow_threshold_ms", float64(s.cfg.SlowRequestThreshold)/1e6))
+	}
+	attrs = append(attrs, tr.LogAttrs()...)
+	log.LogAttrs(r.Context(), level, msg, attrs...)
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// startServer brings up a full daemon (workers + listener) on cfg and returns
+// its base URL.
+func startServer(t *testing.T, cfg Config) string {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return "http://" + ln.Addr().String()
+}
+
+// TestRequestIDPropagation pins the correlation contract: a client-supplied
+// X-Request-ID is echoed back, a missing or malformed one is replaced by a
+// generated hex ID.
+func TestRequestIDPropagation(t *testing.T) {
+	cfg, _ := testConfig(t)
+	base := startServer(t, cfg)
+
+	body := `{"Workload": {"Requests": 12, "Pop": 0.25, "Timeliness": 3}}`
+	req, _ := http.NewRequest("POST", base+"/v1/solve", strings.NewReader(body))
+	req.Header.Set("X-Request-ID", "client-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-supplied-42" {
+		t.Errorf("supplied request ID not propagated: got %q", got)
+	}
+
+	hexID := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for name, header := range map[string]string{
+		"absent":    "",
+		"oversized": strings.Repeat("x", 200),
+		"nonprint":  "bad id", // embedded space: outside the accepted charset
+	} {
+		req, _ = http.NewRequest("POST", base+"/v1/solve", strings.NewReader(body))
+		if header != "" {
+			req.Header.Set("X-Request-ID", header)
+		}
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-ID"); !hexID.MatchString(got) {
+			t.Errorf("%s header: want generated 16-hex ID, got %q", name, got)
+		}
+	}
+}
+
+// TestAccessLogStageBreakdown drives one cold solve with an access log
+// attached and a zero slow threshold, then asserts the structured record
+// carries the request ID and the per-stage solver attribution (queue wait,
+// cache lookup, HJB/FPK sweeps, fixed-point iterations).
+func TestAccessLogStageBreakdown(t *testing.T) {
+	cfg, reg := testConfig(t)
+	var logBuf bytes.Buffer
+	cfg.AccessLog = slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	cfg.SlowRequestThreshold = time.Nanosecond // everything is slow
+	base := startServer(t, cfg)
+
+	req, _ := http.NewRequest("POST", base+"/v1/solve",
+		strings.NewReader(`{"Workload": {"Requests": 12, "Pop": 0.25, "Timeliness": 3}}`))
+	req.Header.Set("X-Request-ID", "trace-me")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	out := logBuf.String()
+	for _, want := range []string{
+		"slow request",
+		"request_id=trace-me",
+		"method=POST",
+		"path=/v1/solve",
+		"status=200",
+		"duration_ms=",
+		"cache_lookup_ms=",
+		"queue_wait_ms=",
+		"hjb_sweep_ms=",
+		"fpk_sweep_ms=",
+		"fixed_point_iterations=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("access log missing %q:\n%s", want, out)
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, h := range []string{
+		"serve.request.seconds",
+		"serve.cache.lookup.seconds",
+		"serve.queue.wait.seconds",
+	} {
+		if snap.Histograms[h].Count == 0 {
+			t.Errorf("histogram %s not recorded", h)
+		}
+	}
+	if snap.Counters["serve.request.slow"] == 0 {
+		t.Error("serve.request.slow not counted")
+	}
+	if q := snap.Histograms["serve.request.seconds"].P99; q <= 0 {
+		t.Errorf("request-latency p99 = %g, want > 0", q)
+	}
+}
+
+// TestHealthEndpointsStayOutOfAccessLog keeps probe noise out of the API
+// stats: /healthz hits must neither log nor count into serve.request.seconds,
+// but still carry a request ID.
+func TestHealthEndpointsStayOutOfAccessLog(t *testing.T) {
+	cfg, reg := testConfig(t)
+	var logBuf bytes.Buffer
+	cfg.AccessLog = slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	base := startServer(t, cfg)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("probe response missing X-Request-ID")
+	}
+	if logBuf.Len() != 0 {
+		t.Errorf("probe leaked into access log: %s", logBuf.String())
+	}
+	if reg.Snapshot().Histograms["serve.request.seconds"].Count != 0 {
+		t.Error("probe counted into serve.request.seconds")
+	}
+}
+
+// TestReqTraceNilSafety pins the nil-tolerance contract instrumented layers
+// rely on.
+func TestReqTraceNilSafety(t *testing.T) {
+	var tr *obs.ReqTrace
+	tr.Observe("x", time.Second)
+	tr.Count("y", 3)
+	if got := tr.Stages(); got != nil {
+		t.Errorf("nil trace stages = %v, want nil", got)
+	}
+	if id := obs.RequestIDFrom(context.Background()); id != "" {
+		t.Errorf("background context request id = %q, want empty", id)
+	}
+}

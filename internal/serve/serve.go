@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -78,6 +79,13 @@ type Config struct {
 	// Registry, when set, additionally mounts /metrics, /debug/vars and
 	// /debug/pprof on the daemon's mux (the PR-1 observability surface).
 	Registry *obs.Registry
+	// AccessLog receives one structured record per /v1/* request (request
+	// ID, method, path, status, duration and the per-stage solver timings).
+	// Nil disables access logging; metrics and request IDs stay on.
+	AccessLog *slog.Logger
+	// SlowRequestThreshold promotes access-log records of slower requests to
+	// warning level and counts them in serve.request.slow (default 1s).
+	SlowRequestThreshold time.Duration
 }
 
 // withDefaults fills the zero fields.
@@ -105,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.SlowRequestThreshold <= 0 {
+		c.SlowRequestThreshold = time.Second
 	}
 	if c.Params.K == 0 && c.Params.M == 0 {
 		c.Params = mec.Default()
@@ -241,6 +252,15 @@ type flight struct {
 	cfg     engine.Config
 	w       engine.Workload
 	timeout time.Duration
+	// trace is the initiating request's stage accumulator (nil when that
+	// request is untraced): the worker attaches it to the solve context so
+	// the engine's HJB/FPK sweep timings attribute to the request that
+	// triggered the computation. Coalesced joiners observe only their own
+	// singleflight wait.
+	trace *obs.ReqTrace
+
+	enqueued  time.Time
+	queueWait time.Duration // written by the worker before solving (done not yet closed)
 
 	done      chan struct{}
 	eq        *engine.Equilibrium
@@ -263,15 +283,22 @@ type solveOutcome struct {
 // impatient client cannot poison the shared result).
 func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload, timeout time.Duration) (*engine.Equilibrium, solveOutcome, error) {
 	s.rec.Add("serve.solve.requests", 1)
+	tr := obs.ReqTraceFrom(ctx)
 	key := engine.CacheKey(cfg, w)
-	if eq, ok := s.cache.Get(s.rec, key); ok {
+	lookupStart := time.Now()
+	eq, hit := s.cache.Get(s.rec, key)
+	lookup := time.Since(lookupStart)
+	s.rec.Observe("serve.cache.lookup.seconds", lookup.Seconds())
+	tr.Observe("cache_lookup", lookup)
+	if hit {
 		return eq, solveOutcome{CacheHit: true}, nil
 	}
 
 	s.mu.Lock()
 	f, joined := s.inflight[key]
 	if !joined {
-		f = &flight{key: key, cfg: cfg, w: w, timeout: timeout, done: make(chan struct{})}
+		f = &flight{key: key, cfg: cfg, w: w, timeout: timeout, trace: tr,
+			enqueued: time.Now(), done: make(chan struct{})}
 		select {
 		case s.jobs <- f:
 			s.inflight[key] = f
@@ -286,8 +313,19 @@ func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload
 		s.rec.Add("serve.solve.coalesced", 1)
 	}
 
+	waitStart := time.Now()
 	select {
 	case <-f.done:
+		wait := time.Since(waitStart)
+		if joined {
+			// This request rode someone else's computation: its only solver
+			// cost is the wait on the shared flight.
+			s.rec.Observe("serve.singleflight.wait.seconds", wait.Seconds())
+			tr.Observe("singleflight_wait", wait)
+		} else {
+			tr.Observe("queue_wait", f.queueWait)
+			tr.Observe("solve", f.solveTime)
+		}
 		return f.eq, solveOutcome{Coalesced: joined, SolveTime: f.solveTime}, f.err
 	case <-ctx.Done():
 		s.rec.Add("serve.solve.abandoned", 1)
@@ -337,11 +375,20 @@ func (s *Server) runFlight(f *flight, sessions map[string]*engine.Session) {
 		s.rec.Add("serve.session.built", 1)
 	}
 
+	f.queueWait = time.Since(f.enqueued)
+	s.rec.Observe("serve.queue.wait.seconds", f.queueWait.Seconds())
+
 	ctx := s.lifeCtx
 	if f.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, f.timeout)
 		defer cancel()
+	}
+	if f.trace != nil {
+		// The solve runs under the daemon's life context, not the request's;
+		// re-attach the initiator's trace so the engine's stage timings
+		// reach its access-log record.
+		ctx = obs.WithReqTrace(ctx, f.trace)
 	}
 	s.rec.Add("serve.solve.executed", 1)
 	start := time.Now()
