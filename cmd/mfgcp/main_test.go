@@ -91,6 +91,19 @@ func TestSolveSubcommandOverrides(t *testing.T) {
 	}
 }
 
+func TestSolveSubcommandKernelFlags(t *testing.T) {
+	if err := run([]string{"solve", "-nh", "5", "-nq", "21", "-steps", "30",
+		"-kernel-workers", "2", "-precision", "float32"}); err != nil {
+		t.Fatalf("solve with kernel flags: %v", err)
+	}
+	if err := run([]string{"solve", "-precision", "float16"}); err == nil {
+		t.Error("unknown precision should error")
+	}
+	if err := run([]string{"solve", "-scheme", "explicit", "-precision", "float32"}); err == nil {
+		t.Error("float32 with the explicit scheme should error")
+	}
+}
+
 func TestMarketSubcommand(t *testing.T) {
 	if err := run([]string{"market", "-policy", "rr", "-m", "8", "-k", "3",
 		"-epochs", "1", "-steps", "8"}); err != nil {

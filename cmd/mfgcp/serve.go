@@ -36,6 +36,8 @@ func serveCmd(args []string) (retErr error) {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	slowThreshold := fs.Duration("slow", time.Second, "access-log slow-request threshold (warn level + stage breakdown)")
 	configPath := fs.String("config", "", "JSON defaults for Params/Solver (same shape as a /v1/solve body)")
+	kernelWorkers := fs.Int("kernel-workers", 0, "parallel PDE line-sweep workers per solve (0 or 1 is serial)")
+	precision := fs.String("precision", "", "PDE kernel precision: float64 (default) or float32 (fast path, implicit scheme only)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +78,19 @@ func serveCmd(args []string) (retErr error) {
 		if len(file.Workload) > 0 {
 			return fmt.Errorf("-config %s: a Workload section is per-request; the daemon config takes Params and Solver only", *configPath)
 		}
+	}
+	// Kernel flags win over the -config file; the daemon's solves then run
+	// with this kernel by default (per-request Solver sections may still
+	// override it).
+	set := setFlags(fs)
+	if set["kernel-workers"] {
+		solver.Kernel.Workers = *kernelWorkers
+	}
+	if set["precision"] {
+		solver.Kernel.Precision = *precision
+	}
+	if solver, err = mfgcp.ApplySolveOptions(solver); err != nil {
+		return err
 	}
 
 	// The daemon always runs a live registry — the serve.* metrics are part

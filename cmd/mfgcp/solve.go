@@ -48,6 +48,8 @@ func solveCmd(args []string) (retErr error) {
 	steps := fs.Int("steps", 0, "time steps (0 keeps the default)")
 	noShare := fs.Bool("no-share", false, "solve the MFG baseline without peer sharing")
 	scheme := fs.String("scheme", "", "PDE time integrator: implicit (default) or explicit")
+	kernelWorkers := fs.Int("kernel-workers", 0, "parallel PDE line-sweep workers (0 or 1 is serial; results are identical at any count)")
+	precision := fs.String("precision", "", "PDE kernel precision: float64 (default) or float32 (fast path, implicit scheme only)")
 	csvDir := fs.String("csv", "", "write strategy/density/price CSVs into this directory")
 	saveTo := fs.String("save", "", "write the solved equilibrium archive (gob) to this file")
 	of := addObsFlags(fs)
@@ -121,6 +123,16 @@ func solveCmd(args []string) (retErr error) {
 	}
 	if *scheme != "" {
 		opts = append(opts, mfgcp.WithScheme(*scheme))
+	}
+	if set["kernel-workers"] || set["precision"] {
+		kc := cfg.Kernel
+		if set["kernel-workers"] {
+			kc.Workers = *kernelWorkers
+		}
+		if set["precision"] {
+			kc.Precision = *precision
+		}
+		opts = append(opts, mfgcp.WithKernel(kc.Workers, kc.Precision))
 	}
 	cfg, err = mfgcp.ApplySolveOptions(cfg, opts...)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/pde"
 )
 
 // CacheKey builds the canonical lookup key of one equilibrium computation:
@@ -66,6 +67,13 @@ func CacheKey(cfg Config, w Workload) string {
 		fmt.Fprintf(&b, "Scheme=%s;", sch.Name())
 	} else {
 		fmt.Fprintf(&b, "Scheme=%q;", cfg.Scheme)
+	}
+	// Kernel precision changes the computed solution and must separate keys;
+	// "" and "float64" are the same bit-exact default path and keep the
+	// historical encoding (no field emitted). Workers are deliberately
+	// excluded: the line-sweep partition is invisible in the results.
+	if cfg.Kernel.Precision != "" && cfg.Kernel.Precision != pde.PrecisionFloat64 {
+		fmt.Fprintf(&b, "Prec=%s;", cfg.Kernel.Precision)
 	}
 	// Initial density override: quantised content hash (nil means the
 	// Section-V default, which the params above already determine).

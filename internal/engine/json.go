@@ -34,6 +34,7 @@ type configJSON struct {
 	FPKForm        int
 	Stepping       int
 	Scheme         string
+	Kernel         pde.KernelConfig
 	ShareEnabled   bool
 	InitLambda     []float64 `json:",omitempty"`
 }
@@ -51,6 +52,7 @@ func (c Config) toJSON() configJSON {
 		FPKForm:        int(c.FPKForm),
 		Stepping:       int(c.Stepping),
 		Scheme:         c.Scheme,
+		Kernel:         c.Kernel,
 		ShareEnabled:   c.ShareEnabled,
 		InitLambda:     c.InitLambda,
 	}
@@ -66,6 +68,7 @@ func (j configJSON) apply(c *Config) {
 	c.FPKForm = pde.FPKForm(j.FPKForm)
 	c.Stepping = pde.Stepping(j.Stepping)
 	c.Scheme = j.Scheme
+	c.Kernel = j.Kernel
 	c.ShareEnabled = j.ShareEnabled
 	c.InitLambda = j.InitLambda
 }

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/mec"
+	"repro/internal/pde"
+)
+
+// kernelConfig returns a configuration whose grid is large enough to engage
+// the parallel line-sweep phases (see pde's engagement thresholds).
+func kernelConfig() (Config, Workload) {
+	cfg := DefaultConfig(mec.Default())
+	cfg.NH = 41
+	cfg.NQ = 101
+	cfg.Steps = 30
+	return cfg, Workload{Requests: 10, Pop: 0.3, Timeliness: 2}
+}
+
+// TestGoldenEquivalenceParallelKernel extends the refactor guard to the
+// parallel kernel: with sweep workers enabled, the engine must still
+// reproduce the pre-refactor equilibrium bit-for-bit — the line-sweep
+// partition is invisible in the results.
+func TestGoldenEquivalenceParallelKernel(t *testing.T) {
+	g := loadGolden(t)
+	cfg, w := goldenConfig(g)
+	cfg.Kernel = pde.KernelConfig{Workers: 4}
+	eq, err := Solve(cfg, w)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	const tol = 1e-12
+	if d := maxAbsDiff(t, "V0", eq.HJB.V[0], g.V0); d > tol {
+		t.Errorf("parallel kernel: V(0,·) differs by %g (> %g)", d, tol)
+	}
+	if d := maxAbsDiff(t, "X0", eq.HJB.X[0], g.X0); d > tol {
+		t.Errorf("parallel kernel: x*(0,·) differs by %g (> %g)", d, tol)
+	}
+	if d := maxAbsDiff(t, "LambdaT", eq.FPK.Lambda[g.Steps], g.LambdaT); d > tol {
+		t.Errorf("parallel kernel: λ(T,·) differs by %g (> %g)", d, tol)
+	}
+	if eq.Iterations != g.Iterations {
+		t.Errorf("parallel kernel: iterations %d, golden %d", eq.Iterations, g.Iterations)
+	}
+}
+
+// TestKernelWorkersBitExactOnLargeGrid runs the worker-count invariance on a
+// grid big enough that every parallel phase actually engages (the golden grid
+// sits below the engagement thresholds).
+func TestKernelWorkersBitExactOnLargeGrid(t *testing.T) {
+	cfg, w := kernelConfig()
+	ref, err := Solve(cfg, w)
+	if err != nil {
+		t.Fatalf("serial solve: %v", err)
+	}
+	cfg.Kernel.Workers = 4
+	got, err := Solve(cfg, w)
+	if err != nil {
+		t.Fatalf("parallel solve: %v", err)
+	}
+	if got.Iterations != ref.Iterations {
+		t.Fatalf("iterations: serial %d, parallel %d", ref.Iterations, got.Iterations)
+	}
+	for n := range ref.HJB.X {
+		for k := range ref.HJB.X[n] {
+			if got.HJB.X[n][k] != ref.HJB.X[n][k] || got.HJB.V[n][k] != ref.HJB.V[n][k] {
+				t.Fatalf("V/X differ at level %d, index %d with 4 workers", n, k)
+			}
+		}
+	}
+	for n := range ref.FPK.Lambda {
+		for k := range ref.FPK.Lambda[n] {
+			if got.FPK.Lambda[n][k] != ref.FPK.Lambda[n][k] {
+				t.Fatalf("λ differs at level %d, index %d with 4 workers", n, k)
+			}
+		}
+	}
+}
+
+// TestSessionZeroAllocParallelKernel pins the zero-allocation contract for
+// the parallel and float32 kernels: once warmed up, one best-response
+// iteration must not allocate regardless of the kernel configuration.
+func TestSessionZeroAllocParallelKernel(t *testing.T) {
+	for _, kc := range []pde.KernelConfig{
+		{Workers: 4},
+		{Workers: 2, Precision: pde.PrecisionFloat32},
+	} {
+		t.Run(fmt.Sprintf("workers=%d,precision=%s", kc.Workers, kc.Precision), func(t *testing.T) {
+			cfg, w := kernelConfig()
+			cfg.Kernel = kc
+			s, err := NewSession(cfg)
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			if err := s.begin(w, nil); err != nil {
+				t.Fatalf("begin: %v", err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := s.iterate(i + 1); err != nil {
+					t.Fatalf("warm-up iterate: %v", err)
+				}
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := s.iterate(3); err != nil {
+					t.Fatalf("iterate: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state iteration with kernel %+v allocates %.1f objects/op, want 0", kc, allocs)
+			}
+		})
+	}
+}
+
+// TestFloat32KernelSolves: the opt-in fast path must converge to an
+// equilibrium on the standard configuration. The accuracy contract against
+// the float64 solution lives in the verify layer's precision harness.
+func TestFloat32KernelSolves(t *testing.T) {
+	cfg, w := smallConfig()
+	cfg.Kernel.Precision = pde.PrecisionFloat32
+	eq, err := Solve(cfg, w)
+	if err != nil {
+		t.Fatalf("float32 solve: %v", err)
+	}
+	if !eq.Converged {
+		t.Fatal("float32 solve did not converge")
+	}
+}
+
+// TestKernelConfigValidation: bad kernel configurations are rejected at
+// config time, including the float32+explicit combination the pde layer
+// would reject at solve time.
+func TestKernelConfigValidation(t *testing.T) {
+	cfg, _ := smallConfig()
+	cfg.Kernel.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative kernel workers accepted")
+	}
+	cfg, _ = smallConfig()
+	cfg.Kernel.Precision = "float16"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown kernel precision accepted")
+	}
+	cfg, _ = smallConfig()
+	cfg.Scheme = "explicit"
+	cfg.Kernel.Precision = pde.PrecisionFloat32
+	if err := cfg.Validate(); err == nil {
+		t.Error("float32 + explicit scheme accepted")
+	}
+}
+
+// TestCacheKeyKernel: precision changes the computed solution and must
+// separate cache keys; the worker count never changes results and must not.
+func TestCacheKeyKernel(t *testing.T) {
+	cfg, w := smallConfig()
+	base := CacheKey(cfg, w)
+
+	cfg.Kernel.Workers = 8
+	if CacheKey(cfg, w) != base {
+		t.Error("worker count changed the cache key; partitioning is result-invisible")
+	}
+	cfg.Kernel.Workers = 0
+
+	cfg.Kernel.Precision = pde.PrecisionFloat64
+	if CacheKey(cfg, w) != base {
+		t.Error(`explicit "float64" precision changed the cache key; it is the default path`)
+	}
+	cfg.Kernel.Precision = pde.PrecisionFloat32
+	if CacheKey(cfg, w) == base {
+		t.Error("float32 precision did not change the cache key")
+	}
+}
+
+// TestKernelConfigJSON: the kernel block round-trips through the config
+// codec, merges onto defaults, and rejects unknown keys inside it.
+func TestKernelConfigJSON(t *testing.T) {
+	cfg, _ := smallConfig()
+	cfg.Kernel = pde.KernelConfig{Workers: 4, Precision: pde.PrecisionFloat32}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Config
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Kernel != cfg.Kernel {
+		t.Errorf("kernel round-trip: got %+v, want %+v", got.Kernel, cfg.Kernel)
+	}
+
+	merged, _ := smallConfig()
+	if err := json.Unmarshal([]byte(`{"Kernel":{"Workers":2}}`), &merged); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged.Kernel.Workers != 2 || merged.Kernel.Precision != "" {
+		t.Errorf("sparse kernel merge: got %+v", merged.Kernel)
+	}
+
+	bad, _ := smallConfig()
+	if err := json.Unmarshal([]byte(`{"Kernel":{"Threads":2}}`), &bad); err == nil {
+		t.Error("unknown kernel key accepted")
+	}
+}
+
+// BenchmarkEngineSolveColdKernel measures a full cold equilibrium solve on a
+// sweep-heavy grid across kernel configurations. The batched h-sweeps carry
+// the speedup on small machines; worker scaling shows on multi-core hosts.
+func BenchmarkEngineSolveColdKernel(b *testing.B) {
+	cfg, w := kernelConfig()
+	run := func(b *testing.B, kc pde.KernelConfig) {
+		c := cfg
+		c.Kernel = kc
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(c, w); err != nil {
+				b.Fatalf("Solve: %v", err)
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			run(b, pde.KernelConfig{Workers: workers})
+		})
+	}
+	b.Run("float32", func(b *testing.B) {
+		run(b, pde.KernelConfig{Workers: 4, Precision: pde.PrecisionFloat32})
+	})
+}

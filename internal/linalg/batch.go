@@ -1,0 +1,137 @@
+package linalg
+
+import (
+	"fmt"
+)
+
+// TridiagBatch is an n×n tridiagonal system factorised once and substituted
+// against many right-hand sides. It is the kernel the operator-split PDE
+// sweeps are built on: every h-line (or q-line) of one diffusion sweep solves
+// the same coefficient set, so the O(n) Thomas elimination runs once per
+// sweep instead of once per line, and the interleaved substitution walks the
+// flattened field with unit stride.
+//
+// The type is generic over the kernel precisions: TridiagBatch[float64] is
+// the default bit-exact path, TridiagBatch[float32] the opt-in fast path.
+// Usage: fill A, B and C (same layout as Tridiag: A[0] and C[n-1] ignored),
+// call Factorize, then any number of Solve / SolveInterleaved calls. Writing
+// to the diagonals does not invalidate the factorisation automatically —
+// callers re-run Factorize after changing coefficients.
+type TridiagBatch[T Float] struct {
+	// A, B, C are the sub-, main- and super-diagonal, each of length n.
+	A, B, C []T
+
+	cp, beta []T // factorisation: normalised super-diagonal and pivots
+	dp       []T // substitution scratch for the single-RHS Solve
+	factored bool
+}
+
+// NewTridiagBatch allocates an n×n batched tridiagonal system with zeroed
+// diagonals.
+func NewTridiagBatch[T Float](n int) *TridiagBatch[T] {
+	return &TridiagBatch[T]{
+		A:    make([]T, n),
+		B:    make([]T, n),
+		C:    make([]T, n),
+		cp:   make([]T, n),
+		beta: make([]T, n),
+		dp:   make([]T, n),
+	}
+}
+
+// N returns the dimension of the system.
+func (t *TridiagBatch[T]) N() int { return len(t.B) }
+
+// Factorize runs the Thomas forward elimination over the current diagonals,
+// storing the pivots for reuse by Solve and SolveInterleaved. A vanishing
+// pivot returns ErrSingular and leaves the system unfactorised.
+func (t *TridiagBatch[T]) Factorize() error {
+	t.factored = false
+	if row := thomasFactor(t.A, t.B, t.C, t.cp, t.beta); row >= 0 {
+		return fmt.Errorf("%w: zero pivot at row %d", ErrSingular, row)
+	}
+	t.factored = true
+	return nil
+}
+
+// Solve substitutes one right-hand side through the stored factorisation
+// into dst (dst may alias rhs). Factorize must have succeeded since the
+// diagonals were last written.
+func (t *TridiagBatch[T]) Solve(dst, rhs []T) error {
+	n := t.N()
+	if !t.factored {
+		return fmt.Errorf("linalg: TridiagBatch.Solve before Factorize")
+	}
+	if len(rhs) != n || len(dst) != n {
+		return fmt.Errorf("%w: system %d, rhs %d, dst %d", ErrDimensionMismatch, n, len(rhs), len(dst))
+	}
+	thomasSolve(t.A, t.cp, t.beta, t.dp, dst, rhs)
+	return nil
+}
+
+// SolveInterleaved substitutes m interleaved right-hand sides through the
+// stored factorisation, in place on x: x[i*m+j] is component i of system j,
+// so a flattened row-major 2-D field swept along its first dimension is
+// solved directly, with no gather or scatter. len(x) must be N()*m. The
+// per-system arithmetic is identical to Solve, so the results are
+// bit-identical to m scalar solves.
+func (t *TridiagBatch[T]) SolveInterleaved(x []T, m int) error {
+	return t.SolveInterleavedRange(x, m, 0, m)
+}
+
+// SolveInterleavedRange is SolveInterleaved restricted to systems [jlo, jhi)
+// of the m interleaved right-hand sides — the partition unit of parallel
+// sweeps: disjoint column ranges touch disjoint elements of x, so workers
+// solving different ranges never race, and the per-system operations do not
+// depend on the partition.
+func (t *TridiagBatch[T]) SolveInterleavedRange(x []T, m, jlo, jhi int) error {
+	n := t.N()
+	if !t.factored {
+		return fmt.Errorf("linalg: TridiagBatch.SolveInterleaved before Factorize")
+	}
+	if m < 0 || len(x) != n*m {
+		return fmt.Errorf("%w: system %d × batch %d, field %d", ErrDimensionMismatch, n, m, len(x))
+	}
+	if jlo < 0 || jhi > m || jlo > jhi {
+		return fmt.Errorf("%w: batch range [%d,%d) outside [0,%d)", ErrDimensionMismatch, jlo, jhi, m)
+	}
+	if jlo == jhi {
+		return nil
+	}
+	if jlo == 0 && jhi == m {
+		thomasSolveInterleaved(t.A, t.cp, t.beta, x, m)
+		return nil
+	}
+	thomasSolveInterleavedRange(t.A, t.cp, t.beta, x, m, jlo, jhi)
+	return nil
+}
+
+// thomasSolveInterleavedRange is thomasSolveInterleaved over the column
+// subrange [jlo, jhi): identical per-element operations, strided row access.
+func thomasSolveInterleavedRange[T Float](a, cp, beta []T, x []T, m, jlo, jhi int) {
+	n := len(beta)
+	if n == 0 {
+		return
+	}
+	row0 := x[jlo:jhi]
+	piv := beta[0]
+	for j := range row0 {
+		row0[j] /= piv
+	}
+	for i := 1; i < n; i++ {
+		ai, bi := a[i], beta[i]
+		prev := x[(i-1)*m+jlo : (i-1)*m+jhi]
+		row := x[i*m+jlo : i*m+jhi]
+		for j := range row {
+			row[j] = (row[j] - ai*prev[j]) / bi
+		}
+	}
+	for i := n - 2; i >= 0; i-- {
+		ci := cp[i]
+		next := x[(i+1)*m+jlo : (i+1)*m+jhi]
+		row := x[i*m+jlo : i*m+jhi]
+		for j := range row {
+			row[j] -= ci * next[j]
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// loadBatch copies a Tridiag's diagonals into a float64 batch.
+func loadBatch(tri *Tridiag) *TridiagBatch[float64] {
+	bat := NewTridiagBatch[float64](tri.N())
+	copy(bat.A, tri.A)
+	copy(bat.B, tri.B)
+	copy(bat.C, tri.C)
+	return bat
+}
+
+// Property: one batched factorisation + per-system substitution is
+// bit-identical to N independent Tridiag.Solve calls.
+func TestTridiagBatchBitEqualsScalarSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(30)
+		m := 1 + rng.Intn(17)
+		tri := randomDominantTridiag(rng, n)
+		bat := loadBatch(tri)
+		if err := bat.Factorize(); err != nil {
+			t.Fatalf("Factorize: %v", err)
+		}
+
+		// Interleaved field: x[i*m+j] = component i of system j.
+		field := make([]float64, n*m)
+		for i := range field {
+			field[i] = rng.NormFloat64()
+		}
+
+		// Reference: scalar solves, one per column.
+		want := make([]float64, n*m)
+		rhs, sol := NewVector(n), NewVector(n)
+		for j := 0; j < m; j++ {
+			for i := 0; i < n; i++ {
+				rhs[i] = field[i*m+j]
+			}
+			if err := tri.Solve(sol, rhs); err != nil {
+				t.Fatalf("scalar Solve: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				want[i*m+j] = sol[i]
+			}
+		}
+
+		// Batched in-place interleaved solve.
+		got := append([]float64(nil), field...)
+		if err := bat.SolveInterleaved(got, m); err != nil {
+			t.Fatalf("SolveInterleaved: %v", err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: bit mismatch at %d: %v vs %v (diff %g)",
+					trial, i, got[i], want[i], got[i]-want[i])
+			}
+		}
+
+		// Single-RHS path through the same factorisation.
+		for i := 0; i < n; i++ {
+			rhs[i] = field[i*m]
+		}
+		one := make([]float64, n)
+		if err := bat.Solve(one, rhs); err != nil {
+			t.Fatalf("batch Solve: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			if one[i] != want[i*m] {
+				t.Fatalf("trial %d: batch Solve differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+// Property: solving a column subrange touches exactly that subrange and
+// produces the same bits as the full interleaved solve.
+func TestTridiagBatchRangePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(20)
+		m := 2 + rng.Intn(13)
+		tri := randomDominantTridiag(rng, n)
+		bat := loadBatch(tri)
+		if err := bat.Factorize(); err != nil {
+			t.Fatalf("Factorize: %v", err)
+		}
+		field := make([]float64, n*m)
+		for i := range field {
+			field[i] = rng.NormFloat64()
+		}
+		full := append([]float64(nil), field...)
+		if err := bat.SolveInterleaved(full, m); err != nil {
+			t.Fatalf("SolveInterleaved: %v", err)
+		}
+		// Partition [0,m) into three chunks solved separately.
+		cut1, cut2 := m/3, 2*m/3
+		parts := append([]float64(nil), field...)
+		for _, r := range [][2]int{{0, cut1}, {cut1, cut2}, {cut2, m}} {
+			if err := bat.SolveInterleavedRange(parts, m, r[0], r[1]); err != nil {
+				t.Fatalf("SolveInterleavedRange(%v): %v", r, err)
+			}
+		}
+		for i := range parts {
+			if parts[i] != full[i] {
+				t.Fatalf("trial %d: partitioned solve differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+// Tridiag.Factorize + repeated SolveFactored is bit-identical to repeated
+// Solve, and mutating helpers invalidate the factorisation.
+func TestTridiagSolveFactoredReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tri := randomDominantTridiag(rng, 24)
+	if err := tri.Factorize(); err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	ref := randomDominantTridiag(rng, 24)
+	copy(ref.A, tri.A)
+	copy(ref.B, tri.B)
+	copy(ref.C, tri.C)
+	for k := 0; k < 5; k++ {
+		rhs := NewVector(24)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		fast, slow := NewVector(24), NewVector(24)
+		if err := tri.SolveFactored(fast, rhs); err != nil {
+			t.Fatalf("SolveFactored: %v", err)
+		}
+		if err := ref.Solve(slow, rhs); err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("solve %d: SolveFactored differs at %d: %v vs %v", k, i, fast[i], slow[i])
+			}
+		}
+	}
+
+	tri.AddDiagonal(1)
+	if err := tri.SolveFactored(NewVector(24), NewVector(24)); err == nil {
+		t.Error("SolveFactored after AddDiagonal should require refactorisation")
+	}
+	if err := tri.Factorize(); err != nil {
+		t.Fatalf("refactorise: %v", err)
+	}
+	if err := tri.SolveFactored(NewVector(24), NewVector(24)); err != nil {
+		t.Errorf("SolveFactored after refactorise: %v", err)
+	}
+	tri.Reset()
+	if err := tri.SolveFactored(NewVector(24), NewVector(24)); err == nil {
+		t.Error("SolveFactored after Reset should require refactorisation")
+	}
+}
+
+// The float32 instantiation solves well-conditioned systems to float32
+// accuracy (sanity for the fast path; accuracy vs float64 is pinned by the
+// verify-layer differential harness).
+func TestTridiagBatchFloat32(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n, m := 40, 8
+	tri := randomDominantTridiag(rng, n)
+	bat64 := loadBatch(tri)
+	bat32 := NewTridiagBatch[float32](n)
+	for i := 0; i < n; i++ {
+		bat32.A[i] = float32(tri.A[i])
+		bat32.B[i] = float32(tri.B[i])
+		bat32.C[i] = float32(tri.C[i])
+	}
+	if err := bat64.Factorize(); err != nil {
+		t.Fatalf("float64 Factorize: %v", err)
+	}
+	if err := bat32.Factorize(); err != nil {
+		t.Fatalf("float32 Factorize: %v", err)
+	}
+	f64 := make([]float64, n*m)
+	f32 := make([]float32, n*m)
+	for i := range f64 {
+		f64[i] = rng.NormFloat64()
+		f32[i] = float32(f64[i])
+	}
+	if err := bat64.SolveInterleaved(f64, m); err != nil {
+		t.Fatalf("float64 solve: %v", err)
+	}
+	if err := bat32.SolveInterleaved(f32, m); err != nil {
+		t.Fatalf("float32 solve: %v", err)
+	}
+	for i := range f64 {
+		diff := math.Abs(f64[i] - float64(f32[i]))
+		if diff > 1e-4*(1+math.Abs(f64[i])) {
+			t.Fatalf("float32 solution off at %d: %g vs %g", i, f32[i], f64[i])
+		}
+	}
+}
+
+func TestTridiagBatchErrors(t *testing.T) {
+	bat := NewTridiagBatch[float64](3)
+	if err := bat.Factorize(); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero system should be singular, got %v", err)
+	}
+	if err := bat.Solve(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Error("Solve before successful Factorize should error")
+	}
+	bat.B[0], bat.B[1], bat.B[2] = 2, 2, 2
+	if err := bat.Factorize(); err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	if err := bat.Solve(make([]float64, 2), make([]float64, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("short dst should mismatch, got %v", err)
+	}
+	if err := bat.SolveInterleaved(make([]float64, 7), 2); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("wrong field size should mismatch, got %v", err)
+	}
+	if err := bat.SolveInterleavedRange(make([]float64, 6), 2, 1, 3); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("out-of-bounds range should mismatch, got %v", err)
+	}
+	if err := bat.SolveInterleavedRange(make([]float64, 6), 2, 1, 1); err != nil {
+		t.Errorf("empty range should be a no-op, got %v", err)
+	}
+	if err := bat.SolveInterleaved(nil, 0); err != nil {
+		t.Errorf("zero-width batch should be a no-op, got %v", err)
+	}
+}
+
+// Batched interleaved substitution vs per-line factorise-and-solve — the
+// speedup the h-sweeps of the PDE schemes get from coefficient sharing.
+func BenchmarkTridiagBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	const n, m = 61, 128
+	tri := randomDominantTridiag(rng, n)
+	bat := loadBatch(tri)
+	field := make([]float64, n*m)
+	for i := range field {
+		field[i] = rng.NormFloat64()
+	}
+	work := make([]float64, n*m)
+
+	b.Run("scalar", func(b *testing.B) {
+		rhs, sol := NewVector(n), NewVector(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < m; j++ {
+				for i := 0; i < n; i++ {
+					rhs[i] = field[i*m+j]
+				}
+				if err := tri.Solve(sol, rhs); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					work[i*m+j] = sol[i]
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := bat.Factorize(); err != nil {
+				b.Fatal(err)
+			}
+			copy(work, field)
+			if err := bat.SolveInterleaved(work, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

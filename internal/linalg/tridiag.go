@@ -22,18 +22,20 @@ var ErrSingular = errors.New("linalg: matrix is singular to working precision")
 // implicit PDE schemes: each 1-D sweep of the HJB or FPK update is one Solve.
 type Tridiag struct {
 	A, B, C Vector // sub-, main-, super-diagonal, each of length n
-	// scratch buffers reused across Solve calls
-	cp, dp Vector
+	// factorisation and scratch buffers reused across Solve calls
+	cp, beta, dp Vector
+	factored     bool
 }
 
 // NewTridiag allocates an n×n tridiagonal system with zeroed diagonals.
 func NewTridiag(n int) *Tridiag {
 	return &Tridiag{
-		A:  NewVector(n),
-		B:  NewVector(n),
-		C:  NewVector(n),
-		cp: NewVector(n),
-		dp: NewVector(n),
+		A:    NewVector(n),
+		B:    NewVector(n),
+		C:    NewVector(n),
+		cp:   NewVector(n),
+		beta: NewVector(n),
+		dp:   NewVector(n),
 	}
 }
 
@@ -45,6 +47,7 @@ func (t *Tridiag) Reset() {
 	t.A.Fill(0)
 	t.B.Fill(0)
 	t.C.Fill(0)
+	t.factored = false
 }
 
 // SetIdentity loads the identity matrix.
@@ -58,11 +61,53 @@ func (t *Tridiag) AddDiagonal(s float64) {
 	for i := range t.B {
 		t.B[i] += s
 	}
+	t.factored = false
+}
+
+// Factorize runs the Thomas forward elimination over the current diagonals
+// and stores the pivots, so repeated SolveFactored calls skip the
+// elimination. The mutating helpers (Reset, SetIdentity, AddDiagonal)
+// invalidate the factorisation; after writing the diagonal slices directly,
+// call Factorize again. A vanishing pivot returns ErrSingular.
+func (t *Tridiag) Factorize() error {
+	n := t.N()
+	t.factored = false
+	if len(t.cp) != n {
+		t.cp = NewVector(n)
+		t.dp = NewVector(n)
+	}
+	if len(t.beta) != n {
+		t.beta = NewVector(n)
+	}
+	if row := thomasFactor(t.A, t.B, t.C, t.cp, t.beta); row >= 0 {
+		return fmt.Errorf("%w: zero pivot at row %d", ErrSingular, row)
+	}
+	t.factored = true
+	return nil
+}
+
+// SolveFactored substitutes one right-hand side through the factorisation
+// stored by the last successful Factorize, into dst (dst may alias rhs). The
+// substitution divides by the stored pivots — the same values the fused
+// elimination divides by — so Factorize+SolveFactored is bit-identical to
+// Solve.
+func (t *Tridiag) SolveFactored(dst, rhs Vector) error {
+	n := t.N()
+	if !t.factored {
+		return fmt.Errorf("linalg: SolveFactored before Factorize")
+	}
+	if len(rhs) != n || len(dst) != n {
+		return fmt.Errorf("%w: system %d, rhs %d, dst %d", ErrDimensionMismatch, n, len(rhs), len(dst))
+	}
+	thomasSolve(t.A, t.cp, t.beta, t.dp, dst, rhs)
+	return nil
 }
 
 // Solve solves the system in-place into dst (dst may alias rhs). It uses the
 // Thomas algorithm, which is stable for the diagonally-dominant systems the
-// PDE schemes produce; a vanishing pivot returns ErrSingular.
+// PDE schemes produce; a vanishing pivot returns ErrSingular. Solve always
+// refactorises; when the coefficients are unchanged between solves, use
+// Factorize once and SolveFactored per right-hand side.
 func (t *Tridiag) Solve(dst, rhs Vector) error {
 	n := t.N()
 	if len(rhs) != n || len(dst) != n {
@@ -71,29 +116,10 @@ func (t *Tridiag) Solve(dst, rhs Vector) error {
 	if n == 0 {
 		return nil
 	}
-	if len(t.cp) != n {
-		t.cp = NewVector(n)
-		t.dp = NewVector(n)
+	if err := t.Factorize(); err != nil {
+		return err
 	}
-	const tiny = 1e-300
-	beta := t.B[0]
-	if math.Abs(beta) < tiny {
-		return fmt.Errorf("%w: zero pivot at row 0", ErrSingular)
-	}
-	t.cp[0] = t.C[0] / beta
-	t.dp[0] = rhs[0] / beta
-	for i := 1; i < n; i++ {
-		beta = t.B[i] - t.A[i]*t.cp[i-1]
-		if math.Abs(beta) < tiny {
-			return fmt.Errorf("%w: zero pivot at row %d", ErrSingular, i)
-		}
-		t.cp[i] = t.C[i] / beta
-		t.dp[i] = (rhs[i] - t.A[i]*t.dp[i-1]) / beta
-	}
-	dst[n-1] = t.dp[n-1]
-	for i := n - 2; i >= 0; i-- {
-		dst[i] = t.dp[i] - t.cp[i]*dst[i+1]
-	}
+	thomasSolve(t.A, t.cp, t.beta, t.dp, dst, rhs)
 	return nil
 }
 

@@ -1,0 +1,221 @@
+package pde
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Kernel precision names, as spelled in configs and CLI flags.
+const (
+	// PrecisionFloat64 is the default kernel precision: bit-exact against the
+	// historical serial solver at every worker count.
+	PrecisionFloat64 = "float64"
+	// PrecisionFloat32 is the opt-in fast path: the tridiagonal sweeps run in
+	// single precision (half the memory traffic), while control, source and
+	// aggregation arithmetic stay in float64. Implicit scheme only; the
+	// accuracy contract is enforced by the verify layer's precision
+	// differential harness.
+	PrecisionFloat32 = "float32"
+)
+
+// PrecisionNames lists the selectable kernel precisions (for CLI help and
+// validation messages).
+func PrecisionNames() []string { return []string{PrecisionFloat64, PrecisionFloat32} }
+
+// KernelConfig tunes how the PDE sweeps execute without changing what they
+// compute: Workers bounds the parallelism of the line sweeps, Precision
+// selects the scalar type of the tridiagonal kernels. The zero value is the
+// serial float64 kernel.
+type KernelConfig struct {
+	// Workers bounds the goroutines used per sweep phase. 0 and 1 run
+	// serially; values above the per-phase line count are clamped. Workers
+	// beyond GOMAXPROCS add no throughput (they time-slice), but they are
+	// permitted so the parallel paths stay exercisable on small machines.
+	// Because every line is computed by the same per-line operations
+	// regardless of the partition, results are bit-identical across all
+	// worker counts.
+	Workers int
+	// Precision is "" or "float64" (default) or "float32" (opt-in fast path,
+	// implicit scheme only).
+	Precision string
+}
+
+// Validate checks the kernel configuration.
+func (kc KernelConfig) Validate() error {
+	if kc.Workers < 0 {
+		return fmt.Errorf("pde: kernel workers must be ≥ 0, got %d", kc.Workers)
+	}
+	switch kc.Precision {
+	case "", PrecisionFloat64, PrecisionFloat32:
+	default:
+		return fmt.Errorf("pde: unknown kernel precision %q (want %q or %q)",
+			kc.Precision, PrecisionFloat64, PrecisionFloat32)
+	}
+	return nil
+}
+
+// float32Enabled reports whether the float32 fast path is selected.
+func (kc KernelConfig) float32Enabled() bool { return kc.Precision == PrecisionFloat32 }
+
+// maxKernelWorkers bounds the sweep-worker fan-out: far above any sensible
+// machine, low enough that a misconfigured value cannot spawn an absurd
+// goroutine set.
+const maxKernelWorkers = 256
+
+// effectiveWorkers resolves the configured worker bound to a concrete count.
+func (kc KernelConfig) effectiveWorkers() int {
+	w := kc.Workers
+	if w < 1 {
+		return 1
+	}
+	if w > maxKernelWorkers {
+		return maxKernelWorkers
+	}
+	return w
+}
+
+// Parallel engagement thresholds, in field elements covered by one phase.
+// Below them the fan-out overhead (worker wake-up + join, ~1–2 µs) exceeds
+// the work being split, so the phase runs serially on the calling goroutine —
+// which is always safe, because partitioning never changes the results.
+const (
+	// parallelMinLineElems gates the per-line phases (q-sweeps, explicit
+	// h-sweeps, control/source evaluation): these call model callbacks per
+	// element, so they amortise the fan-out quickly.
+	parallelMinLineElems = 512
+	// parallelMinBatchElems gates the batched interleaved substitution: pure
+	// memory-bound arithmetic, worth splitting only for larger fields.
+	parallelMinBatchElems = 4096
+)
+
+// lineTask is one parallelisable sweep phase: run processes lines [lo, hi)
+// as worker w (the index into the per-worker scratch). Implementations must
+// touch only per-worker scratch and the disjoint slice ranges their lines
+// own, and their per-line arithmetic must not depend on the partition — that
+// is what makes worker counts invisible in the results.
+type lineTask interface {
+	run(w, lo, hi int) error
+}
+
+// kernelJob is one dispatch to a parked sweep worker. A nil task tells the
+// worker to exit.
+type kernelJob struct {
+	task   lineTask
+	w      int
+	lo, hi int
+}
+
+// startWorkers parks workers-1 goroutines on the job channel for the duration
+// of one solve. The solver entry points pair it with stopWorkers so worker
+// lifetime is scoped to the call: nothing leaks when the workspace is
+// dropped, and the per-phase dispatch inside the solve is allocation-free.
+func (ws *Workspace) startWorkers() {
+	if ws.workers <= 1 || ws.active {
+		return
+	}
+	if ws.jobs == nil {
+		ws.jobs = make(chan kernelJob, ws.workers)
+	}
+	if ws.loop == nil {
+		// The method value is hoisted into a field because a `go` statement
+		// on a method expression allocates a closure per call; spawning a
+		// stored func() keeps the per-solve dispatch allocation-free.
+		ws.loop = ws.workerLoop
+	}
+	for w := 1; w < ws.workers; w++ {
+		go ws.loop()
+	}
+	ws.active = true
+}
+
+// stopWorkers releases the goroutines parked by startWorkers.
+func (ws *Workspace) stopWorkers() {
+	if !ws.active {
+		return
+	}
+	for w := 1; w < ws.workers; w++ {
+		ws.jobs <- kernelJob{}
+	}
+	ws.active = false
+}
+
+func (ws *Workspace) workerLoop() {
+	for {
+		j := <-ws.jobs
+		if j.task == nil {
+			return
+		}
+		ws.errs[j.w] = j.task.run(j.w, j.lo, j.hi)
+		ws.wg.Done()
+	}
+}
+
+// runParallel partitions lines contiguous lines of elemsPerLine elements
+// across the sweep workers and runs the task over them, falling back to a
+// serial call when the phase is too small (minElems) or no workers are
+// active. Chunk k is lines [k·L/W, (k+1)·L/W): the partition depends only on
+// (lines, workers), so a given configuration always splits the same way, and
+// the first error in line order wins deterministically.
+func (ws *Workspace) runParallel(task lineTask, lines, elemsPerLine, minElems int) error {
+	w := ws.workers
+	if w > lines {
+		w = lines
+	}
+	if w <= 1 || !ws.active || lines*elemsPerLine < minElems {
+		return task.run(0, 0, lines)
+	}
+	ws.wg.Add(w - 1)
+	for k := 1; k < w; k++ {
+		ws.jobs <- kernelJob{task: task, w: k, lo: k * lines / w, hi: (k + 1) * lines / w}
+	}
+	err := task.run(0, 0, lines/w)
+	ws.wg.Wait()
+	for k := 1; k < w; k++ {
+		if err == nil {
+			err = ws.errs[k]
+		}
+		ws.errs[k] = nil
+	}
+	return err
+}
+
+// posPart and negPart are max(x, 0) and min(x, 0) over the kernel scalar
+// types. At float64 they reproduce the scheme assembly exactly (the math.Max
+// special cases differ only in the sign of zero, which the downstream
+// subtraction erases for the non-degenerate diffusions the schemes assemble).
+func posPart[T linalg.Float](x T) T {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func negPart[T linalg.Float](x T) T {
+	if x < 0 {
+		return x
+	}
+	return 0
+}
+
+func absT[T linalg.Float](x T) T {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// gatherT / scatterT copy a strided line of the float64 field into and out of
+// kernel-precision line buffers, converting at the boundary. At T = float64
+// the conversion is the identity, so the copies are bit-exact.
+func gatherT[T linalg.Float](dst []T, field []float64, start, stride, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = T(field[start+i*stride])
+	}
+}
+
+func scatterT[T linalg.Float](field []float64, src []T, start, stride, n int) {
+	for i := 0; i < n; i++ {
+		field[start+i*stride] = float64(src[i])
+	}
+}

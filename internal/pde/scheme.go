@@ -2,46 +2,120 @@ package pde
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/linalg"
 	"repro/internal/obs"
 )
 
 // Workspace owns every reusable buffer the operator-split integrators need on
-// one grid resolution: the two tridiagonal sweepers (one per dimension) and
-// the gradient/source scratch fields. A Workspace is created once per solver
-// session and reused across time steps, best-response iterations and repeated
-// solves, so the steady-state iteration loop of the engine performs no heap
-// allocations. A Workspace is not safe for concurrent use; parallel solvers
-// hold one each.
+// one grid resolution: the shared batched h-line system, per-worker sweepers
+// for the line-dependent phases, the gradient/source scratch fields and, when
+// the float32 fast path is enabled, the single-precision mirrors. A Workspace
+// is created once per solver session and reused across time steps,
+// best-response iterations and repeated solves, so the steady-state iteration
+// loop of the engine performs no heap allocations. A Workspace is not safe
+// for concurrent use; parallel solvers hold one each (the bounded sweep
+// workers inside one Workspace are coordinated internally).
 type Workspace struct {
-	g    grid.Grid2D
-	swH  *sweeper
-	swQ  *sweeper
+	g       grid.Grid2D
+	kc      KernelConfig
+	workers int
+
+	batH *linalg.TridiagBatch[float64] // shared-coefficient implicit h-phase
+	bH   []float64                     // h-drift cache, len nh
+	swH  []*sweeper[float64]           // per-worker h-line sweepers (explicit path)
+	swQ  []*sweeper[float64]           // per-worker q-line sweepers
+
+	batH32 *linalg.TridiagBatch[float32] // float32 fast path (nil unless enabled)
+	bH32   []float32
+	swQ32  []*sweeper[float32]
+	f32    []float32 // field-size conversion scratch
+
 	grad []float64 // ∂qV estimate feeding the closed-form control
 	work []float64 // explicit-source scratch W = V^{n+1} + dt·U
+
+	// sweep-worker coordination (see kernel.go)
+	jobs   chan kernelJob
+	wg     sync.WaitGroup
+	errs   []error
+	active bool
+	loop   func() // hoisted workerLoop method value (see startWorkers)
+
+	// persistent task frames, so dispatching a phase allocates nothing
+	batTask   hBatchTask[float64]
+	batTask32 hBatchTask[float32]
+	hxbTask   hExplicitBackwardTask
+	hxfTask   hExplicitForwardTask
+	qbTask    qBackwardTask[float64]
+	qbTask32  qBackwardTask[float32]
+	qfTask    qForwardTask[float64]
+	qfTask32  qForwardTask[float32]
+	ctlTask   controlTask
+	srcTask   sourceTask
 }
 
-// NewWorkspace validates the grid and allocates all sweep buffers for it.
+// NewWorkspace validates the grid and allocates all sweep buffers for the
+// default kernel (serial, float64).
 func NewWorkspace(g grid.Grid2D) (*Workspace, error) {
+	return NewWorkspaceKernel(g, KernelConfig{})
+}
+
+// NewWorkspaceKernel validates the grid and kernel configuration and
+// allocates all sweep buffers, including the per-worker scratch and — when
+// the float32 fast path is selected — the single-precision mirrors.
+func NewWorkspaceKernel(g grid.Grid2D, kc KernelConfig) (*Workspace, error) {
 	if err := g.H.Validate(); err != nil {
 		return nil, fmt.Errorf("pde: workspace H axis: %w", err)
 	}
 	if err := g.Q.Validate(); err != nil {
 		return nil, fmt.Errorf("pde: workspace Q axis: %w", err)
 	}
-	return &Workspace{
-		g:    g,
-		swH:  newSweeper(g.H.N),
-		swQ:  newSweeper(g.Q.N),
-		grad: g.NewField(),
-		work: g.NewField(),
-	}, nil
+	if err := kc.Validate(); err != nil {
+		return nil, err
+	}
+	nh, nq := g.H.N, g.Q.N
+	workers := kc.effectiveWorkers()
+	ws := &Workspace{
+		g:       g,
+		kc:      kc,
+		workers: workers,
+		batH:    linalg.NewTridiagBatch[float64](nh),
+		bH:      make([]float64, nh),
+		swH:     make([]*sweeper[float64], workers),
+		swQ:     make([]*sweeper[float64], workers),
+		grad:    g.NewField(),
+		work:    g.NewField(),
+		errs:    make([]error, workers),
+	}
+	for w := range ws.swH {
+		ws.swH[w] = newSweeper[float64](nh)
+		ws.swQ[w] = newSweeper[float64](nq)
+	}
+	if kc.float32Enabled() {
+		ws.batH32 = linalg.NewTridiagBatch[float32](nh)
+		ws.bH32 = make([]float32, nh)
+		ws.swQ32 = make([]*sweeper[float32], workers)
+		for w := range ws.swQ32 {
+			ws.swQ32[w] = newSweeper[float32](nq)
+		}
+		ws.f32 = make([]float32, g.Size())
+	}
+	return ws, nil
 }
 
 // Grid returns the grid the workspace was sized for.
 func (w *Workspace) Grid() grid.Grid2D { return w.g }
+
+// Kernel returns the kernel configuration the workspace was built with.
+func (w *Workspace) Kernel() KernelConfig { return w.kc }
+
+// Workers returns the effective sweep-worker count the workspace resolved
+// from its kernel configuration (≥ 1).
+func (w *Workspace) Workers() int { return w.workers }
 
 // fits reports whether the workspace matches the given grid resolution.
 func (w *Workspace) fits(g grid.Grid2D) bool {
@@ -77,35 +151,201 @@ type Scheme interface {
 }
 
 // backwardKernel / forwardKernel advance one 1-D sweep on a loaded sweeper
-// (rhs and b filled). steps is the time-step count, used by the explicit
-// kernels to phrase their CFL diagnostics.
-type backwardKernel func(s *sweeper, dt, dx, diff float64, steps int) error
-type forwardKernel func(s *sweeper, form FPKForm, dt, dx, diff float64, steps int) error
+// (rhs and b filled) at the kernel precision. steps is the time-step count,
+// used by the explicit kernels to phrase their CFL diagnostics.
+type backwardKernel[T linalg.Float] func(s *sweeper[T], dt, dx, diff T, steps int) error
+type forwardKernel[T linalg.Float] func(s *sweeper[T], form FPKForm, dt, dx, diff T, steps int) error
 
-func implicitBackward(s *sweeper, dt, dx, diff float64, _ int) error {
+func implicitBackward[T linalg.Float](s *sweeper[T], dt, dx, diff T, _ int) error {
 	return s.solveBackwardValue(dt, dx, diff)
 }
 
-func explicitBackward(s *sweeper, dt, dx, diff float64, steps int) error {
+func explicitBackward[T linalg.Float](s *sweeper[T], dt, dx, diff T, steps int) error {
 	return cflError(s.explicitBackwardValue(dt, dx, diff), steps)
 }
 
-func implicitForward(s *sweeper, form FPKForm, dt, dx, diff float64, _ int) error {
+func implicitForward[T linalg.Float](s *sweeper[T], form FPKForm, dt, dx, diff T, _ int) error {
 	if form == Conservative {
 		return s.solveForwardConservative(dt, dx, diff)
 	}
 	return s.solveForwardAdvective(dt, dx, diff)
 }
 
-func explicitForward(s *sweeper, _ FPKForm, dt, dx, diff float64, steps int) error {
+func explicitForward[T linalg.Float](s *sweeper[T], _ FPKForm, dt, dx, diff T, steps int) error {
 	return cflError(s.explicitForwardConservative(dt, dx, diff), steps)
+}
+
+// hBatchTask substitutes interleaved column ranges of the field through the
+// shared h-line factorisation, in place — columns are disjoint, so workers
+// never overlap.
+type hBatchTask[T linalg.Float] struct {
+	bat   *linalg.TridiagBatch[T]
+	field []T
+	m     int
+}
+
+func (tk *hBatchTask[T]) run(_, lo, hi int) error {
+	return tk.bat.SolveInterleavedRange(tk.field, tk.m, lo, hi)
+}
+
+// hExplicitBackwardTask runs explicit backward h-line sweeps over column
+// ranges, gathering each strided column through the worker's sweeper. The
+// shared h-drifts must be preloaded into every worker sweeper's b.
+type hExplicitBackwardTask struct {
+	sws          []*sweeper[float64]
+	field        []float64 // in place
+	nh, nq       int
+	t            float64
+	dt, dx, diff float64
+	steps        int
+}
+
+func (tk *hExplicitBackwardTask) run(w, lo, hi int) error {
+	sw := tk.sws[w]
+	for j := lo; j < hi; j++ {
+		gatherT(sw.rhs, tk.field, j, tk.nq, tk.nh)
+		if err := cflError(sw.explicitBackwardValue(tk.dt, tk.dx, tk.diff), tk.steps); err != nil {
+			return fmt.Errorf("pde: HJB h-sweep at t=%.4g, column %d: %w", tk.t, j, err)
+		}
+		scatterT(tk.field, sw.sol, j, tk.nq, tk.nh)
+	}
+	return nil
+}
+
+// hExplicitForwardTask is the forward (FPK) counterpart of
+// hExplicitBackwardTask.
+type hExplicitForwardTask struct {
+	sws          []*sweeper[float64]
+	field        []float64 // in place
+	nh, nq       int
+	t            float64
+	dt, dx, diff float64
+	steps        int
+}
+
+func (tk *hExplicitForwardTask) run(w, lo, hi int) error {
+	sw := tk.sws[w]
+	for j := lo; j < hi; j++ {
+		gatherT(sw.rhs, tk.field, j, tk.nq, tk.nh)
+		if err := cflError(sw.explicitForwardConservative(tk.dt, tk.dx, tk.diff), tk.steps); err != nil {
+			return fmt.Errorf("pde: FPK h-sweep at t=%.4g, column %d: %w", tk.t, j, err)
+		}
+		scatterT(tk.field, sw.sol, j, tk.nq, tk.nh)
+	}
+	return nil
+}
+
+// qBackwardTask runs backward q-line sweeps over row ranges: each row loads
+// its own drifts from the frozen control field, so rows are solved
+// independently on per-worker sweepers. Rows of src and dst are disjoint per
+// worker.
+type qBackwardTask[T linalg.Float] struct {
+	sws          []*sweeper[T]
+	p            *HJBProblem
+	t            float64
+	x, src, dst  []float64
+	nq           int
+	dt, dx, diff T
+	steps        int
+	kern         backwardKernel[T]
+}
+
+func (tk *qBackwardTask[T]) run(w, lo, hi int) error {
+	sw := tk.sws[w]
+	for i := lo; i < hi; i++ {
+		start := i * tk.nq
+		gatherT(sw.rhs, tk.src, start, 1, tk.nq)
+		for j := 0; j < tk.nq; j++ {
+			sw.b[j] = T(tk.p.DriftQ(tk.t, tk.x[start+j]))
+		}
+		if err := tk.kern(sw, tk.dt, tk.dx, tk.diff, tk.steps); err != nil {
+			return fmt.Errorf("pde: HJB q-sweep at t=%.4g, row %d: %w", tk.t, i, err)
+		}
+		scatterT(tk.dst, sw.sol, start, 1, tk.nq)
+	}
+	return nil
+}
+
+// qForwardTask is the forward (FPK) counterpart of qBackwardTask, in place on
+// lambda.
+type qForwardTask[T linalg.Float] struct {
+	sws          []*sweeper[T]
+	p            *FPKProblem
+	t            float64
+	lambda       []float64
+	nq           int
+	dt, dx, diff T
+	steps        int
+	kern         forwardKernel[T]
+}
+
+func (tk *qForwardTask[T]) run(w, lo, hi int) error {
+	sw := tk.sws[w]
+	g := tk.p.Grid
+	for i := lo; i < hi; i++ {
+		h := g.H.At(i)
+		start := i * tk.nq
+		gatherT(sw.rhs, tk.lambda, start, 1, tk.nq)
+		for j := 0; j < tk.nq; j++ {
+			sw.b[j] = T(tk.p.DriftQ(tk.t, h, g.Q.At(j)))
+		}
+		if err := tk.kern(sw, tk.p.Form, tk.dt, tk.dx, tk.diff, tk.steps); err != nil {
+			return fmt.Errorf("pde: FPK q-sweep at t=%.4g, row %d: %w", tk.t, i, err)
+		}
+		scatterT(tk.lambda, sw.sol, start, 1, tk.nq)
+	}
+	return nil
+}
+
+// hPhaseImplicit runs the batched implicit h-phase in place on the field: the
+// h-drift depends on (t, h) only, so every column shares one coefficient set,
+// which is assembled and factorised once; the interleaved substitution then
+// runs directly on the flattened field (unit stride, no gather/scatter),
+// partitioned across the sweep workers. On the float32 path the field is
+// converted through the single-precision scratch around the solve.
+func (ws *Workspace) hPhaseImplicit(field []float64, kind hAssembly, dt, dx, diff float64) error {
+	nh, nq := ws.g.H.N, ws.g.Q.N
+	if ws.kc.float32Enabled() {
+		for i := range ws.bH32 {
+			ws.bH32[i] = float32(ws.bH[i])
+		}
+		if err := assembleH(ws.batH32, ws.bH32, kind, float32(dt), float32(dx), float32(diff)); err != nil {
+			return err
+		}
+		for k, v := range field {
+			ws.f32[k] = float32(v)
+		}
+		ws.batTask32 = hBatchTask[float32]{bat: ws.batH32, field: ws.f32, m: nq}
+		if err := ws.runParallel(&ws.batTask32, nq, nh, parallelMinBatchElems); err != nil {
+			return err
+		}
+		for k, v := range ws.f32 {
+			field[k] = float64(v)
+		}
+		return nil
+	}
+	if err := assembleH(ws.batH, ws.bH, kind, dt, dx, diff); err != nil {
+		return err
+	}
+	ws.batTask = hBatchTask[float64]{bat: ws.batH, field: field, m: nq}
+	return ws.runParallel(&ws.batTask, nq, nh, parallelMinBatchElems)
+}
+
+// loadHDrift caches the h-drifts at the current time level, shared by every
+// column of the h-phase.
+func (ws *Workspace) loadHDrift(t float64, driftH func(t, h float64) float64) {
+	for i := range ws.bH {
+		ws.bH[i] = driftH(t, ws.g.H.At(i))
+	}
 }
 
 // stepBackward runs the Lie-split backward sweeps shared by every scheme:
 // first every q-column in h (stride nq, in place on src), then every h-row in
-// q (stride 1, src → dst), with the kernel deciding implicit vs explicit. It
-// emits the per-dimension "pde.hjb.sweeps" counters and sweep timings.
-func stepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64, kern backwardKernel) error {
+// q (stride 1, src → dst). The implicit h-phase is batched (one factorisation
+// for all columns); the remaining line phases are partitioned across the
+// sweep workers. It emits the per-dimension "pde.hjb.sweeps" counters and
+// sweep timings.
+func stepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64, impl bool) error {
 	g := p.Grid
 	nh, nq := g.H.N, g.Q.N
 	dt := p.Time.Dt()
@@ -115,31 +355,51 @@ func stepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64
 	if timed {
 		sweepStart = time.Now()
 	}
-	for j := 0; j < nq; j++ {
-		gather(ws.swH.rhs, src, j, nq, nh)
-		for i := 0; i < nh; i++ {
-			ws.swH.b[i] = p.DriftH(t, g.H.At(i))
+	ws.loadHDrift(t, p.DriftH)
+	if impl {
+		if err := ws.hPhaseImplicit(src, hBackwardValue, dt, g.H.Step(), p.DiffH); err != nil {
+			return fmt.Errorf("pde: HJB h-sweep at t=%.4g: %w", t, err)
 		}
-		if err := kern(ws.swH, dt, g.H.Step(), p.DiffH, p.Time.Steps); err != nil {
-			return fmt.Errorf("pde: HJB h-sweep at t=%.4g, column %d: %w", t, j, err)
+	} else {
+		for _, sw := range ws.swH {
+			copy(sw.b, ws.bH)
 		}
-		scatter(src, ws.swH.sol, j, nq, nh)
+		ws.hxbTask = hExplicitBackwardTask{
+			sws: ws.swH, field: src, nh: nh, nq: nq,
+			t: t, dt: dt, dx: g.H.Step(), diff: p.DiffH, steps: p.Time.Steps,
+		}
+		if err := ws.runParallel(&ws.hxbTask, nq, nh, parallelMinLineElems); err != nil {
+			return err
+		}
 	}
 	rec.Add("pde.hjb.sweeps", float64(nq))
 	if timed {
 		rec.Observe("pde.hjb.sweep.h.seconds", time.Since(sweepStart).Seconds())
 		sweepStart = time.Now()
 	}
-	for i := 0; i < nh; i++ {
-		start := i * nq
-		gather(ws.swQ.rhs, src, start, 1, nq)
-		for j := 0; j < nq; j++ {
-			ws.swQ.b[j] = p.DriftQ(t, x[start+j])
+
+	var err error
+	if ws.kc.float32Enabled() {
+		ws.qbTask32 = qBackwardTask[float32]{
+			sws: ws.swQ32, p: p, t: t, x: x, src: src, dst: dst, nq: nq,
+			dt: float32(dt), dx: float32(g.Q.Step()), diff: float32(p.DiffQ),
+			steps: p.Time.Steps, kern: implicitBackward[float32],
 		}
-		if err := kern(ws.swQ, dt, g.Q.Step(), p.DiffQ, p.Time.Steps); err != nil {
-			return fmt.Errorf("pde: HJB q-sweep at t=%.4g, row %d: %w", t, i, err)
+		err = ws.runParallel(&ws.qbTask32, nh, nq, parallelMinLineElems)
+	} else {
+		kern := implicitBackward[float64]
+		if !impl {
+			kern = explicitBackward[float64]
 		}
-		scatter(dst, ws.swQ.sol, start, 1, nq)
+		ws.qbTask = qBackwardTask[float64]{
+			sws: ws.swQ, p: p, t: t, x: x, src: src, dst: dst, nq: nq,
+			dt: dt, dx: g.Q.Step(), diff: p.DiffQ,
+			steps: p.Time.Steps, kern: kern,
+		}
+		err = ws.runParallel(&ws.qbTask, nh, nq, parallelMinLineElems)
+	}
+	if err != nil {
+		return err
 	}
 	rec.Add("pde.hjb.sweeps", float64(nh))
 	if timed {
@@ -151,7 +411,7 @@ func stepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64
 // stepForward runs the Lie-split forward sweeps shared by every scheme, in
 // place on lambda, emitting the per-dimension "pde.fpk.sweeps" counters and
 // sweep timings.
-func stepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64, kern forwardKernel) error {
+func stepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64, impl bool) error {
 	g := p.Grid
 	nh, nq := g.H.N, g.Q.N
 	dt := p.Time.Dt()
@@ -161,32 +421,55 @@ func stepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64, kern
 	if timed {
 		sweepStart = time.Now()
 	}
-	for j := 0; j < nq; j++ {
-		gather(ws.swH.rhs, lambda, j, nq, nh)
-		for i := 0; i < nh; i++ {
-			ws.swH.b[i] = p.DriftH(t, g.H.At(i))
+	ws.loadHDrift(t, p.DriftH)
+	if impl {
+		kind := hForwardConservative
+		if p.Form != Conservative {
+			kind = hForwardAdvective
 		}
-		if err := kern(ws.swH, p.Form, dt, g.H.Step(), p.DiffH, p.Time.Steps); err != nil {
-			return fmt.Errorf("pde: FPK h-sweep at t=%.4g, column %d: %w", t, j, err)
+		if err := ws.hPhaseImplicit(lambda, kind, dt, g.H.Step(), p.DiffH); err != nil {
+			return fmt.Errorf("pde: FPK h-sweep at t=%.4g: %w", t, err)
 		}
-		scatter(lambda, ws.swH.sol, j, nq, nh)
+	} else {
+		for _, sw := range ws.swH {
+			copy(sw.b, ws.bH)
+		}
+		ws.hxfTask = hExplicitForwardTask{
+			sws: ws.swH, field: lambda, nh: nh, nq: nq,
+			t: t, dt: dt, dx: g.H.Step(), diff: p.DiffH, steps: p.Time.Steps,
+		}
+		if err := ws.runParallel(&ws.hxfTask, nq, nh, parallelMinLineElems); err != nil {
+			return err
+		}
 	}
 	rec.Add("pde.fpk.sweeps", float64(nq))
 	if timed {
 		rec.Observe("pde.fpk.sweep.h.seconds", time.Since(sweepStart).Seconds())
 		sweepStart = time.Now()
 	}
-	for i := 0; i < nh; i++ {
-		h := g.H.At(i)
-		start := i * nq
-		gather(ws.swQ.rhs, lambda, start, 1, nq)
-		for j := 0; j < nq; j++ {
-			ws.swQ.b[j] = p.DriftQ(t, h, g.Q.At(j))
+
+	var err error
+	if ws.kc.float32Enabled() {
+		ws.qfTask32 = qForwardTask[float32]{
+			sws: ws.swQ32, p: p, t: t, lambda: lambda, nq: nq,
+			dt: float32(dt), dx: float32(g.Q.Step()), diff: float32(p.DiffQ),
+			steps: p.Time.Steps, kern: implicitForward[float32],
 		}
-		if err := kern(ws.swQ, p.Form, dt, g.Q.Step(), p.DiffQ, p.Time.Steps); err != nil {
-			return fmt.Errorf("pde: FPK q-sweep at t=%.4g, row %d: %w", t, i, err)
+		err = ws.runParallel(&ws.qfTask32, nh, nq, parallelMinLineElems)
+	} else {
+		kern := implicitForward[float64]
+		if !impl {
+			kern = explicitForward[float64]
 		}
-		scatter(lambda, ws.swQ.sol, start, 1, nq)
+		ws.qfTask = qForwardTask[float64]{
+			sws: ws.swQ, p: p, t: t, lambda: lambda, nq: nq,
+			dt: dt, dx: g.Q.Step(), diff: p.DiffQ,
+			steps: p.Time.Steps, kern: kern,
+		}
+		err = ws.runParallel(&ws.qfTask, nh, nq, parallelMinLineElems)
+	}
+	if err != nil {
+		return err
 	}
 	rec.Add("pde.fpk.sweeps", float64(nh))
 	if timed {
@@ -204,11 +487,11 @@ func (implicitScheme) Stepping() Stepping { return Implicit }
 func (implicitScheme) Order() int         { return 1 }
 
 func (implicitScheme) StepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64) error {
-	return stepBackward(ws, p, t, x, src, dst, implicitBackward)
+	return stepBackward(ws, p, t, x, src, dst, true)
 }
 
 func (implicitScheme) StepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64) error {
-	return stepForward(ws, p, t, lambda, implicitForward)
+	return stepForward(ws, p, t, lambda, true)
 }
 
 // explicitScheme is the forward-Euler ablation: cheaper per step (no linear
@@ -220,36 +503,52 @@ func (explicitScheme) Stepping() Stepping { return Explicit }
 func (explicitScheme) Order() int         { return 1 }
 
 func (explicitScheme) StepBackward(ws *Workspace, p *HJBProblem, t float64, x, src, dst []float64) error {
-	return stepBackward(ws, p, t, x, src, dst, explicitBackward)
+	return stepBackward(ws, p, t, x, src, dst, false)
 }
 
 func (explicitScheme) StepForward(ws *Workspace, p *FPKProblem, t float64, lambda []float64) error {
-	return stepForward(ws, p, t, lambda, explicitForward)
+	return stepForward(ws, p, t, lambda, false)
+}
+
+// schemeRegistry is the single source of truth for the selectable schemes:
+// name resolution, Stepping mapping and the SchemeNames help/validation list
+// are all derived from it, so adding a scheme here is sufficient to surface
+// it everywhere. The first entry is the default.
+var schemeRegistry = []Scheme{
+	implicitScheme{},
+	explicitScheme{},
 }
 
 // SchemeFor maps a legacy Stepping constant onto its Scheme.
 func SchemeFor(s Stepping) (Scheme, error) {
-	switch s {
-	case Implicit:
-		return implicitScheme{}, nil
-	case Explicit:
-		return explicitScheme{}, nil
+	for _, sch := range schemeRegistry {
+		if sch.Stepping() == s {
+			return sch, nil
+		}
 	}
 	return nil, fmt.Errorf("pde: unknown stepping %d", int(s))
 }
 
 // SchemeByName resolves a scheme from its configuration / CLI name. The empty
-// name selects the implicit default.
+// name selects the default (the registry's first entry).
 func SchemeByName(name string) (Scheme, error) {
-	switch name {
-	case "", "implicit":
-		return implicitScheme{}, nil
-	case "explicit":
-		return explicitScheme{}, nil
+	if name == "" {
+		return schemeRegistry[0], nil
 	}
-	return nil, fmt.Errorf("pde: unknown scheme %q (want %q or %q)", name, "implicit", "explicit")
+	for _, sch := range schemeRegistry {
+		if sch.Name() == name {
+			return sch, nil
+		}
+	}
+	return nil, fmt.Errorf("pde: unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
 }
 
 // SchemeNames lists the selectable scheme names (for CLI help and validation
-// messages).
-func SchemeNames() []string { return []string{"implicit", "explicit"} }
+// messages), in registry order.
+func SchemeNames() []string {
+	names := make([]string, len(schemeRegistry))
+	for i, sch := range schemeRegistry {
+		names[i] = sch.Name()
+	}
+	return names
+}

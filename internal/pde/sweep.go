@@ -15,72 +15,61 @@
 // default uses the conservative divergence form, which conserves probability
 // mass exactly with reflecting (zero-flux) boundaries; the paper-literal
 // advective form of Eq. (15) is available as an ablation.
+//
+// The sweeps execute on a batched, optionally parallel kernel layer
+// (KernelConfig): within one h-sweep every grid line shares its coefficient
+// set, so the tridiagonal system is factorised once and all lines are
+// substituted through it in place; q-lines have line-dependent coefficients
+// and are partitioned across a bounded worker set. Both transformations
+// preserve the per-line arithmetic exactly, so the default float64 kernel is
+// bit-identical to the historical serial solver at every worker count.
 package pde
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/linalg"
 )
 
-// line is a strided view over a flattened 2-D field, used to sweep either
-// dimension with the same 1-D kernels.
-type line struct {
-	buf []float64 // gathered values, len n
-}
-
-func gather(dst, field []float64, start, stride, n int) {
-	for i := 0; i < n; i++ {
-		dst[i] = field[start+i*stride]
-	}
-}
-
-func scatter(field, src []float64, start, stride, n int) {
-	for i := 0; i < n; i++ {
-		field[start+i*stride] = src[i]
-	}
-}
-
-// sweeper owns the reusable buffers for 1-D implicit sweeps of length n.
-type sweeper struct {
+// sweeper owns the reusable buffers for 1-D sweeps of length n at one kernel
+// precision. Parallel phases hold one sweeper per worker.
+type sweeper[T linalg.Float] struct {
 	n    int
-	tri  *linalg.Tridiag
-	rhs  linalg.Vector
-	sol  linalg.Vector
-	b    linalg.Vector // drift at the n nodes of the current line
-	line line
+	bat  *linalg.TridiagBatch[T]
+	rhs  []T
+	sol  []T
+	b    []T // drift at the n nodes of the current line
+	flux []T // explicit conservative face fluxes, len n+1
 }
 
-func newSweeper(n int) *sweeper {
-	return &sweeper{
+func newSweeper[T linalg.Float](n int) *sweeper[T] {
+	return &sweeper[T]{
 		n:    n,
-		tri:  linalg.NewTridiag(n),
-		rhs:  linalg.NewVector(n),
-		sol:  linalg.NewVector(n),
-		b:    linalg.NewVector(n),
-		line: line{buf: make([]float64, n)},
+		bat:  linalg.NewTridiagBatch[T](n),
+		rhs:  make([]T, n),
+		sol:  make([]T, n),
+		b:    make([]T, n),
+		flux: make([]T, n+1),
 	}
 }
 
-// solveBackwardValue performs one implicit sweep of the backward (HJB) form
+// assembleBackwardValue assembles the implicit backward (HJB) operator
 //
 //	(I − dt·L) v_new = v_old,   L v = b(x)·∂v + D·∂²v
 //
-// with upwind advection and homogeneous Neumann boundaries (∂v/∂n = 0). The
-// drift values b must be loaded in s.b and the old values in s.rhs before the
-// call; the solution lands in s.sol. The assembled matrix is an M-matrix with
-// unit row sums minus the off-diagonal mass, hence diagonally dominant.
-func (s *sweeper) solveBackwardValue(dt, dx, diff float64) error {
-	n := s.n
+// with upwind advection and homogeneous Neumann boundaries (∂v/∂n = 0) into
+// the diagonals (A, B, C) from the nodal drifts b. The matrix is an M-matrix
+// with unit row sums minus the off-diagonal mass, hence diagonally dominant.
+func assembleBackwardValue[T linalg.Float](A, B, C, b []T, dt, dx, diff T) {
+	n := len(b)
 	dd := diff / (dx * dx) // D/dx²
 	for i := 0; i < n; i++ {
-		b := s.b[i]
-		var lo, up float64 // off-diagonal weights of L at i−1 and i+1
-		if b >= 0 {
-			up += b / dx // forward difference b(v_{i+1}−v_i)/dx
+		bi := b[i]
+		var lo, up T // off-diagonal weights of L at i−1 and i+1
+		if bi >= 0 {
+			up += bi / dx // forward difference b(v_{i+1}−v_i)/dx
 		} else {
-			lo += -b / dx // backward difference b(v_i−v_{i−1})/dx
+			lo += -bi / dx // backward difference b(v_i−v_{i−1})/dx
 		}
 		lo += dd
 		up += dd
@@ -89,48 +78,47 @@ func (s *sweeper) solveBackwardValue(dt, dx, diff float64) error {
 		// moves onto the diagonal, cancelling there.
 		switch i {
 		case 0:
-			s.tri.A[i] = 0
-			s.tri.B[i] = 1 + dt*up
-			s.tri.C[i] = -dt * up
+			A[i] = 0
+			B[i] = 1 + dt*up
+			C[i] = -dt * up
 		case n - 1:
-			s.tri.A[i] = -dt * lo
-			s.tri.B[i] = 1 + dt*lo
-			s.tri.C[i] = 0
+			A[i] = -dt * lo
+			B[i] = 1 + dt*lo
+			C[i] = 0
 		default:
-			s.tri.A[i] = -dt * lo
-			s.tri.B[i] = 1 + dt*(lo+up)
-			s.tri.C[i] = -dt * up
+			A[i] = -dt * lo
+			B[i] = 1 + dt*(lo+up)
+			C[i] = -dt * up
 		}
 	}
-	return s.tri.Solve(s.sol, s.rhs)
 }
 
-// solveForwardConservative performs one implicit sweep of the forward FPK in
+// assembleForwardConservative assembles the implicit forward FPK operator in
 // conservative (divergence) form with zero-flux boundaries:
 //
 //	(I + dt·div F) λ_new = λ_old,
 //	F_{i+1/2} = b⁺_{i+1/2} λ_i + b⁻_{i+1/2} λ_{i+1} − D (λ_{i+1}−λ_i)/dx.
 //
-// Interface drifts are arithmetic means of the nodal drifts in s.b. The
-// matrix has unit column sums, so Σλ is conserved to round-off, and it is an
-// M-matrix, so positivity is preserved.
-func (s *sweeper) solveForwardConservative(dt, dx, diff float64) error {
-	n := s.n
+// Interface drifts are arithmetic means of the nodal drifts b. The matrix has
+// unit column sums, so Σλ is conserved to round-off, and it is an M-matrix,
+// so positivity is preserved.
+func assembleForwardConservative[T linalg.Float](A, B, C, b []T, dt, dx, diff T) {
+	n := len(b)
 	r := dt / dx
 	dd := diff / dx // D/dx (flux units)
 	for i := 0; i < n; i++ {
-		var bUp, bLo float64 // interface drifts at i+1/2 and i−1/2
+		var bUp, bLo T // interface drifts at i+1/2 and i−1/2
 		if i < n-1 {
-			bUp = 0.5 * (s.b[i] + s.b[i+1])
+			bUp = 0.5 * (b[i] + b[i+1])
 		}
 		if i > 0 {
-			bLo = 0.5 * (s.b[i-1] + s.b[i])
+			bLo = 0.5 * (b[i-1] + b[i])
 		}
-		bUpP, bUpM := math.Max(bUp, 0), math.Min(bUp, 0)
-		bLoP, bLoM := math.Max(bLo, 0), math.Min(bLo, 0)
+		bUpP, bUpM := posPart(bUp), negPart(bUp)
+		bLoP, bLoM := posPart(bLo), negPart(bLo)
 
-		diag := 1.0
-		var lo, up float64
+		diag := T(1)
+		var lo, up T
 		if i < n-1 { // flux through the upper face exists
 			diag += r * (bUpP + dd)
 			up = r * (bUpM - dd)
@@ -139,50 +127,102 @@ func (s *sweeper) solveForwardConservative(dt, dx, diff float64) error {
 			diag += r * (-bLoM + dd)
 			lo = r * (-bLoP - dd)
 		}
-		s.tri.A[i] = lo
-		s.tri.B[i] = diag
-		s.tri.C[i] = up
+		A[i] = lo
+		B[i] = diag
+		C[i] = up
 	}
-	return s.tri.Solve(s.sol, s.rhs)
 }
 
-// solveForwardAdvective performs one implicit sweep of the paper-literal
-// non-conservative FPK form of Eq. (15):
+// assembleForwardAdvective assembles the implicit paper-literal
+// non-conservative FPK operator of Eq. (15):
 //
 //	(I + dt·(b·∂ − D·∂²)) λ_new = λ_old
 //
 // with upwind advection and Neumann boundaries. This form does not conserve
 // mass when the drift varies in space (the missing λ·∂b term); the FPK solver
 // optionally renormalises and reports the raw drift.
-func (s *sweeper) solveForwardAdvective(dt, dx, diff float64) error {
-	n := s.n
+func assembleForwardAdvective[T linalg.Float](A, B, C, b []T, dt, dx, diff T) {
+	n := len(b)
 	dd := diff / (dx * dx)
 	for i := 0; i < n; i++ {
-		b := s.b[i]
-		var lo, up float64 // off-diagonal weights of (b∂ − D∂²), to be ≤ 0
-		if b >= 0 {
-			lo += -b / dx // backward difference keeps the scheme monotone
+		bi := b[i]
+		var lo, up T // off-diagonal weights of (b∂ − D∂²), to be ≤ 0
+		if bi >= 0 {
+			lo += -bi / dx // backward difference keeps the scheme monotone
 		} else {
-			up += b / dx
+			up += bi / dx
 		}
 		lo -= dd
 		up -= dd
 		switch i {
 		case 0:
-			s.tri.A[i] = 0
-			s.tri.B[i] = 1 - dt*up
-			s.tri.C[i] = dt * up
+			A[i] = 0
+			B[i] = 1 - dt*up
+			C[i] = dt * up
 		case n - 1:
-			s.tri.A[i] = dt * lo
-			s.tri.B[i] = 1 - dt*lo
-			s.tri.C[i] = 0
+			A[i] = dt * lo
+			B[i] = 1 - dt*lo
+			C[i] = 0
 		default:
-			s.tri.A[i] = dt * lo
-			s.tri.B[i] = 1 - dt*(lo+up)
-			s.tri.C[i] = dt * up
+			A[i] = dt * lo
+			B[i] = 1 - dt*(lo+up)
+			C[i] = dt * up
 		}
 	}
-	return s.tri.Solve(s.sol, s.rhs)
+}
+
+// hAssembly selects which implicit operator an h-phase assembles into the
+// shared batched system.
+type hAssembly int
+
+const (
+	hBackwardValue hAssembly = iota
+	hForwardConservative
+	hForwardAdvective
+)
+
+// assembleH assembles the selected operator from the nodal drifts b into the
+// batch and factorises it, once per sweep for all lines.
+func assembleH[T linalg.Float](bat *linalg.TridiagBatch[T], b []T, kind hAssembly, dt, dx, diff T) error {
+	switch kind {
+	case hBackwardValue:
+		assembleBackwardValue(bat.A, bat.B, bat.C, b, dt, dx, diff)
+	case hForwardConservative:
+		assembleForwardConservative(bat.A, bat.B, bat.C, b, dt, dx, diff)
+	default:
+		assembleForwardAdvective(bat.A, bat.B, bat.C, b, dt, dx, diff)
+	}
+	return bat.Factorize()
+}
+
+// solveBackwardValue performs one implicit backward sweep on the line loaded
+// in s.rhs with drifts s.b; the solution lands in s.sol.
+func (s *sweeper[T]) solveBackwardValue(dt, dx, diff T) error {
+	assembleBackwardValue(s.bat.A, s.bat.B, s.bat.C, s.b, dt, dx, diff)
+	if err := s.bat.Factorize(); err != nil {
+		return err
+	}
+	return s.bat.Solve(s.sol, s.rhs)
+}
+
+// solveForwardConservative performs one implicit conservative FPK sweep on
+// the loaded line.
+func (s *sweeper[T]) solveForwardConservative(dt, dx, diff T) error {
+	assembleForwardConservative(s.bat.A, s.bat.B, s.bat.C, s.b, dt, dx, diff)
+	if err := s.bat.Factorize(); err != nil {
+		return err
+	}
+	return s.bat.Solve(s.sol, s.rhs)
+}
+
+// solveForwardAdvective performs one implicit advective FPK sweep on the
+// loaded line.
+func (s *sweeper[T]) solveForwardAdvective(dt, dx, diff T) error {
+	assembleForwardAdvective(s.bat.A, s.bat.B, s.bat.C, s.b, dt, dx, diff)
+	if err := s.bat.Factorize(); err != nil {
+		return err
+	}
+	return s.bat.Solve(s.sol, s.rhs)
 }
 
 func checkField(name string, field []float64, want int) error {

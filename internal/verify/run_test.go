@@ -25,6 +25,7 @@ func TestRunQuickTierPasses(t *testing.T) {
 		"invariants/property-sweep",
 		"eq21/monotone-clamp",
 		"differential/scheme-agreement",
+		"differential/precision",
 		"differential/cache-bit-equality",
 		"differential/checkpoint-resume",
 		"order/fpk-implicit",

@@ -56,6 +56,20 @@ type Workload = core.Workload
 // (grid resolution, best-response iteration limits, damping, FPK form).
 type SolverConfig = core.Config
 
+// KernelConfig tunes how the PDE sweeps execute without changing the model:
+// Workers bounds the parallel line-sweep fan-out (the default float64 path
+// is bit-exact at every worker count), Precision opts into the float32 fast
+// kernel (implicit scheme only). The zero value is the serial float64
+// kernel.
+type KernelConfig = core.KernelConfig
+
+// Kernel precision names accepted by KernelConfig.Precision and the
+// -precision CLI flags.
+const (
+	PrecisionFloat64 = core.PrecisionFloat64
+	PrecisionFloat32 = core.PrecisionFloat32
+)
+
 // DefaultSolverConfig returns the solver settings used by the experiments.
 func DefaultSolverConfig(p Params) SolverConfig { return core.DefaultConfig(p) }
 

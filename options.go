@@ -120,6 +120,20 @@ func WithIteration(maxIters int, tol float64) Option {
 	}
 }
 
+// WithKernel tunes the PDE kernel execution: workers bounds the parallel
+// line-sweep fan-out (0 or 1 is serial; results are bit-identical at every
+// worker count) and precision selects the kernel scalar type ("" or
+// "float64" for the default path, "float32" for the opt-in fast path, which
+// requires the implicit scheme). On a market configuration it applies to the
+// per-epoch equilibrium solves.
+func WithKernel(workers int, precision string) Option {
+	kc := KernelConfig{Workers: workers, Precision: precision}
+	return dualOption{
+		solve:  func(c *SolverConfig) { c.Kernel = kc },
+		market: func(c *MarketConfig) { c.Solver.Kernel = kc },
+	}
+}
+
 // WithSharing toggles the paid peer-sharing mechanism in the solver's utility
 // (the MFG baseline is the framework with sharing disabled).
 func WithSharing(enabled bool) SolveOption {

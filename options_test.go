@@ -18,6 +18,7 @@ func TestNewSolverConfigOptions(t *testing.T) {
 		WithGrid(9, 41, 60),
 		WithIteration(25, 5e-3),
 		WithSharing(false),
+		WithKernel(4, PrecisionFloat64),
 		WithRecorder(rec),
 	)
 	if err != nil {
@@ -27,6 +28,9 @@ func TestNewSolverConfigOptions(t *testing.T) {
 		cfg.MaxIters != 25 || cfg.Tol != 5e-3 || cfg.ShareEnabled || cfg.Obs != Recorder(rec) {
 		t.Errorf("options not applied: %+v", cfg)
 	}
+	if cfg.Kernel != (KernelConfig{Workers: 4, Precision: PrecisionFloat64}) {
+		t.Errorf("kernel option not applied: %+v", cfg.Kernel)
+	}
 	def := DefaultSolverConfig(p)
 	if cfg.Damping != def.Damping || cfg.Params != p {
 		t.Errorf("defaults not preserved: %+v", cfg)
@@ -34,6 +38,12 @@ func TestNewSolverConfigOptions(t *testing.T) {
 
 	if _, err := NewSolverConfig(p, WithScheme("upwind")); err == nil {
 		t.Error("invalid scheme accepted")
+	}
+	if _, err := NewSolverConfig(p, WithKernel(0, "float16")); err == nil {
+		t.Error("invalid kernel precision accepted")
+	}
+	if _, err := NewSolverConfig(p, WithScheme("explicit"), WithKernel(0, PrecisionFloat32)); err == nil {
+		t.Error("float32 kernel with explicit scheme accepted")
 	}
 	if _, err := NewSolverConfig(p, WithGrid(1, 1, 1)); err == nil {
 		t.Error("degenerate grid accepted")
@@ -53,6 +63,7 @@ func TestNewMarketConfigOptions(t *testing.T) {
 		WithEqCache(32),
 		WithScheme("explicit"),
 		WithGrid(7, 21, 30),
+		WithKernel(2, ""),
 		WithEscalation(ladder),
 		WithFaultPlan(plan),
 		WithCheckpoint(MarketCheckpointConfig{Dir: t.TempDir(), Every: 2}),
@@ -67,6 +78,9 @@ func TestNewMarketConfigOptions(t *testing.T) {
 	}
 	if cfg.Solver.Scheme != "explicit" || cfg.Solver.NH != 7 || cfg.Solver.NQ != 21 {
 		t.Errorf("dual options did not reach the nested solver: %+v", cfg.Solver)
+	}
+	if cfg.Solver.Kernel.Workers != 2 {
+		t.Errorf("kernel option did not reach the nested solver: %+v", cfg.Solver.Kernel)
 	}
 	if cfg.Recovery == nil || *cfg.Recovery != ladder {
 		t.Errorf("escalation not installed: %+v", cfg.Recovery)
