@@ -39,8 +39,10 @@ func loadgenCmd(args []string) error {
 	sloP99 := fs.Duration("slo-p99", 0, "p99 latency bound (0 = unchecked)")
 	sloP999 := fs.Duration("slo-p999", 0, "p999 latency bound (0 = unchecked)")
 	sloErr := fs.Float64("slo-error-rate", loadgen.Unchecked, "max error fraction (negative = unchecked)")
-	sloShed := fs.Float64("slo-shed-rate", loadgen.Unchecked, "max shed fraction, 429s and drops (negative = unchecked)")
+	sloShed := fs.Float64("slo-shed-rate", loadgen.Unchecked, "max shed fraction, 429/503s and drops (negative = unchecked)")
 	sloTimeout := fs.Float64("slo-timeout-rate", loadgen.Unchecked, "max timeout fraction (negative = unchecked)")
+	validate := fs.Bool("validate", false, "decode every 200 body and fail the run on corrupt responses")
+	scrape := fs.Bool("scrape", false, "scrape the daemon's /metrics before/after and report cache-warmth and breaker counter deltas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,12 +57,14 @@ func loadgenCmd(args []string) error {
 	fmt.Fprintf(os.Stderr, "mfgcp loadgen: %s for %s at %g rps (%d distinct workloads)\n",
 		*target, *duration, *rps, len(bodies))
 	rep, err := loadgen.Run(ctx, loadgen.Config{
-		Target:      *target,
-		RPS:         *rps,
-		Duration:    *duration,
-		Timeout:     *timeout,
-		MaxInFlight: *inflight,
-		Bodies:      bodies,
+		Target:        *target,
+		RPS:           *rps,
+		Duration:      *duration,
+		Timeout:       *timeout,
+		MaxInFlight:   *inflight,
+		Bodies:        bodies,
+		Validate:      *validate,
+		ScrapeMetrics: *scrape,
 		SLO: loadgen.SLO{
 			P50Ms:          float64(*sloP50) / 1e6,
 			P99Ms:          float64(*sloP99) / 1e6,

@@ -35,6 +35,11 @@ func serveCmd(args []string) (retErr error) {
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "upper bound on request-supplied deadlines")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	slowThreshold := fs.Duration("slow", time.Second, "access-log slow-request threshold (warn level + stage breakdown)")
+	cacheDir := fs.String("cache-dir", "", "persistent equilibrium cache directory (empty = memory-only; survives restarts and SIGKILL)")
+	cacheDiskBytes := fs.Int64("cache-disk-bytes", 256<<20, "disk budget for -cache-dir; oldest segments compact away past it")
+	breakerFailures := fs.Int("breaker-failures", 5, "consecutive solve failures that open the circuit breaker (-1 disables)")
+	breakerOpen := fs.Duration("breaker-open", 5*time.Second, "how long an open breaker fails fast (503) before a half-open probe")
+	retryBudget := fs.Float64("retry-budget", 0.1, "retry-budget refill per fresh solve (X-Mfgcp-Retry requests draw from it; -1 disables)")
 	configPath := fs.String("config", "", "JSON defaults for Params/Solver (same shape as a /v1/solve body)")
 	kernelWorkers := fs.Int("kernel-workers", 0, "parallel PDE line-sweep workers per solve (0 or 1 is serial)")
 	precision := fs.String("precision", "", "PDE kernel precision: float64 (default) or float32 (fast path, implicit scheme only)")
@@ -118,6 +123,10 @@ func serveCmd(args []string) (retErr error) {
 		Solver:               solver,
 		Obs:                  reg,
 		Registry:             reg,
+		CacheDir:             *cacheDir,
+		CacheDiskBytes:       *cacheDiskBytes,
+		Breaker:              serve.BreakerConfig{Failures: *breakerFailures, OpenFor: *breakerOpen},
+		RetryBudgetRatio:     *retryBudget,
 	})
 	if err != nil {
 		return err

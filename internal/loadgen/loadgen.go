@@ -14,6 +14,7 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -48,6 +49,14 @@ type Config struct {
 	Bodies [][]byte
 	// SLO is the verdict gate (see SLO); the zero value checks nothing.
 	SLO SLO
+	// Validate decodes every 2xx body and counts responses that are not
+	// well-formed solve summaries into Report.Corrupt200s — the chaos
+	// harness's "zero corrupted 200s" gate. Any corrupt 200 fails the run.
+	Validate bool
+	// ScrapeMetrics snapshots the target's /metrics?format=prom before and
+	// after the window and reports the counter deltas (cache warmth, store
+	// hits, breaker transitions) in Report.Server.
+	ScrapeMetrics bool
 	// Client overrides the HTTP client (tests); nil builds one from Timeout.
 	Client *http.Client
 }
@@ -102,18 +111,22 @@ type Report struct {
 	AchievedRPS     float64 `json:"achieved_rps"`
 	DurationSeconds float64 `json:"duration_seconds"`
 
-	Sent      int64 `json:"sent"`
-	Succeeded int64 `json:"succeeded"` // 2xx answers (latency sample source)
-	Shed      int64 `json:"shed"`      // 429 answers
-	Timeouts  int64 `json:"timeouts"`  // client deadline exceeded
-	Errors    int64 `json:"errors"`    // transport failures and other statuses
-	Dropped   int64 `json:"dropped"`   // open-loop overruns beyond MaxInFlight
+	Sent        int64 `json:"sent"`
+	Succeeded   int64 `json:"succeeded"`              // 2xx answers (latency sample source)
+	Shed        int64 `json:"shed"`                   // 429/503 answers
+	Timeouts    int64 `json:"timeouts"`               // client deadline exceeded
+	Errors      int64 `json:"errors"`                 // transport failures and other statuses
+	Dropped     int64 `json:"dropped"`                // open-loop overruns beyond MaxInFlight
+	Corrupt200s int64 `json:"corrupt_200s,omitempty"` // 2xx bodies failing validation (Validate on)
 
 	ShedRate    float64 `json:"shed_rate"` // (shed+dropped)/sent
 	ErrorRate   float64 `json:"error_rate"`
 	TimeoutRate float64 `json:"timeout_rate"`
 
 	Latency LatencySummary `json:"latency_ms"`
+
+	// Server holds the daemon-side counter deltas when ScrapeMetrics is on.
+	Server *ServerCounters `json:"server,omitempty"`
 
 	SLO        SLO      `json:"slo"`
 	Violations []string `json:"violations,omitempty"`
@@ -137,11 +150,20 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		client = &http.Client{Timeout: cfg.Timeout}
 	}
 
+	var before map[string]float64
+	if cfg.ScrapeMetrics {
+		var err error
+		if before, err = scrapeProm(client, cfg.Target); err != nil {
+			return nil, err
+		}
+	}
+
 	var (
-		sent, succeeded, shed, timeouts, errCount, dropped atomic.Int64
-		hist                                               = obs.NewHistogram()
-		sem                                                = make(chan struct{}, cfg.MaxInFlight)
-		wg                                                 sync.WaitGroup
+		sent, succeeded, shed, timeouts, errCount, dropped, corrupt atomic.Int64
+
+		hist = obs.NewHistogram()
+		sem  = make(chan struct{}, cfg.MaxInFlight)
+		wg   sync.WaitGroup
 	)
 	fire := func(body []byte, seq int64) {
 		defer wg.Done()
@@ -165,13 +187,28 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 			return
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
+		var data []byte
+		if cfg.Validate && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			data, err = io.ReadAll(resp.Body)
+		} else {
+			_, _ = io.Copy(io.Discard, resp.Body)
+		}
 		resp.Body.Close()
 		switch {
 		case resp.StatusCode >= 200 && resp.StatusCode < 300:
 			succeeded.Add(1)
 			hist.Observe(elapsed.Seconds())
-		case resp.StatusCode == http.StatusTooManyRequests:
+			if cfg.Validate {
+				if err != nil {
+					errCount.Add(1)
+				} else if verr := validateSolveBody(data); verr != nil {
+					corrupt.Add(1)
+				}
+			}
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
+			// 429 (queue/retry budget) and 503 (circuit breaker) are both the
+			// server shedding by design, not failures.
 			shed.Add(1)
 		default:
 			errCount.Add(1)
@@ -222,7 +259,15 @@ generate:
 		Timeouts:        timeouts.Load(),
 		Errors:          errCount.Load(),
 		Dropped:         dropped.Load(),
+		Corrupt200s:     corrupt.Load(),
 		SLO:             cfg.SLO,
+	}
+	if cfg.ScrapeMetrics {
+		after, err := scrapeProm(client, cfg.Target)
+		if err != nil {
+			return nil, err
+		}
+		rep.Server = counterDeltas(before, after)
 	}
 	if rep.Sent == 0 {
 		if err := ctx.Err(); err != nil {
@@ -273,5 +318,31 @@ func (r *Report) evaluate() {
 		"shed rate %.4f exceeds SLO %.4f", r.ShedRate, slo.MaxShedRate)
 	check(slo.MaxTimeoutRate >= 0 && r.TimeoutRate > slo.MaxTimeoutRate,
 		"timeout rate %.4f exceeds SLO %.4f", r.TimeoutRate, slo.MaxTimeoutRate)
+	// A corrupt 200 is never acceptable: the daemon claimed success while
+	// returning garbage, which no SLO knob can trade away.
+	check(r.Corrupt200s > 0, "%d corrupt 200 responses", r.Corrupt200s)
 	r.Pass = len(r.Violations) == 0
+}
+
+// validateSolveBody checks one 2xx /v1/solve body is a structurally coherent
+// equilibrium summary — the corruption detector behind Config.Validate. A
+// served record whose bytes rotted (or a truncated write) fails JSON decoding
+// or the shape checks long before a human would notice.
+func validateSolveBody(data []byte) error {
+	var body struct {
+		Converged *bool     `json:"converged"`
+		Time      []float64 `json:"time"`
+		Price     []float64 `json:"price"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&body); err != nil {
+		return fmt.Errorf("loadgen: corrupt solve body: %w", err)
+	}
+	if body.Converged == nil {
+		return fmt.Errorf("loadgen: solve body without converged field")
+	}
+	if len(body.Time) != len(body.Price) {
+		return fmt.Errorf("loadgen: solve body with %d time samples and %d prices", len(body.Time), len(body.Price))
+	}
+	return nil
 }

@@ -190,3 +190,122 @@ func TestRunValidation(t *testing.T) {
 		t.Error("pre-cancelled context produced a report")
 	}
 }
+
+// TestValidateCorrupt200s drives the corruption detector: a server answering
+// 200 with garbage bytes must be counted in Corrupt200s and fail the run
+// unconditionally, while a well-formed summary passes.
+func TestValidateCorrupt200s(t *testing.T) {
+	good := []byte(`{"converged": true, "time": [0, 1], "price": [2, 3]}`)
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 0 {
+			w.Write([]byte("\x00\xffgarbage that is not JSON"))
+			return
+		}
+		w.Write(good)
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Target:   srv.URL,
+		RPS:      200,
+		Duration: 200 * time.Millisecond,
+		Bodies:   body,
+		Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt200s == 0 {
+		t.Fatalf("garbage 200s not detected: %+v", rep)
+	}
+	if rep.Pass {
+		t.Errorf("run with %d corrupt 200s passed", rep.Corrupt200s)
+	}
+
+	clean := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(good)
+	}))
+	defer clean.Close()
+	rep, err = Run(context.Background(), Config{
+		Target: clean.URL, RPS: 100, Duration: 100 * time.Millisecond, Bodies: body, Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt200s != 0 || !rep.Pass {
+		t.Errorf("clean bodies flagged: corrupt=%d pass=%v %v", rep.Corrupt200s, rep.Pass, rep.Violations)
+	}
+
+	// Shape violations count too, not just broken JSON.
+	for _, bad := range []string{
+		`{"time": [0], "price": [1]}`,                        // missing converged
+		`{"converged": false, "time": [0, 1], "price": [1]}`, // length mismatch
+	} {
+		if validateSolveBody([]byte(bad)) == nil {
+			t.Errorf("validateSolveBody accepted %s", bad)
+		}
+	}
+}
+
+// TestScrapeServerCounters pins the metrics scrape: the report carries the
+// daemon-side counter deltas of the window, including the warm-hit rate the
+// chaos gate asserts on.
+func TestScrapeServerCounters(t *testing.T) {
+	metrics := []string{
+		// Scrape 1: the daemon has history already — deltas must subtract it.
+		"# TYPE serve_solve_requests_total counter\nserve_solve_requests_total 100\n" +
+			"engine_cache_hit_total 40\nstore_hit_total 10\nserve_solve_executed_total 50\n" +
+			"store_corrupt_total_total 1\nbreaker_open_total 2\nserve_breaker_rejected_total 5\n",
+		// Scrape 2, after the window.
+		"serve_solve_requests_total 200\nengine_cache_hit_total 110\nstore_hit_total 20\n" +
+			"serve_solve_executed_total 70\nstore_corrupt_total_total 1\nbreaker_open_total 3\n" +
+			"serve_breaker_rejected_total 5\n",
+	}
+	var scrapes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			i := scrapes.Add(1) - 1
+			if i > 1 {
+				i = 1
+			}
+			w.Write([]byte(metrics[i]))
+			return
+		}
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Target:        srv.URL,
+		RPS:           100,
+		Duration:      100 * time.Millisecond,
+		Bodies:        body,
+		ScrapeMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := rep.Server
+	if sc == nil {
+		t.Fatal("ScrapeMetrics produced no server counters")
+	}
+	want := ServerCounters{
+		CacheHits: 70, StoreHits: 10, SolveRequests: 100, SolvesExecuted: 20,
+		StoreCorrupt: 0, BreakerOpens: 1, BreakerRejected: 0, WarmHitRate: 0.8,
+	}
+	if *sc != want {
+		t.Errorf("server counters = %+v, want %+v", *sc, want)
+	}
+	raw, _ := json.Marshal(rep)
+	var doc map[string]any
+	_ = json.Unmarshal(raw, &doc)
+	srvDoc, ok := doc["server"].(map[string]any)
+	if !ok {
+		t.Fatalf("report JSON server section is %T", doc["server"])
+	}
+	for _, key := range []string{"cache_hits", "store_hits", "warm_hit_rate", "breaker_opens", "store_corrupt"} {
+		if _, ok := srvDoc[key]; !ok {
+			t.Errorf("server counters JSON missing %q", key)
+		}
+	}
+}

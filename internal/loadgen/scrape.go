@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ServerCounters are the daemon-side deltas of one load-generation window,
+// scraped from /metrics?format=prom before and after the run. They answer the
+// questions the client-side latency histogram cannot: how warm the cache
+// ladder ran, whether the disk tier served (and whether it shed corruption),
+// and whether the circuit breaker tripped under the offered load.
+type ServerCounters struct {
+	// CacheHits and StoreHits are answers served by the in-memory LRU and the
+	// persistent tier; SolveRequests and SolvesExecuted bound them.
+	CacheHits      float64 `json:"cache_hits"`
+	StoreHits      float64 `json:"store_hits"`
+	SolveRequests  float64 `json:"solve_requests"`
+	SolvesExecuted float64 `json:"solves_executed"`
+	// WarmHitRate is (CacheHits+StoreHits)/SolveRequests — the kill-and-restart
+	// chaos gate asserts it stays positive after a daemon restart.
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	// StoreCorrupt counts records the store refused to serve (CRC failures).
+	StoreCorrupt float64 `json:"store_corrupt"`
+	// BreakerOpens and BreakerRejected count breaker trips and the solves they
+	// failed fast.
+	BreakerOpens    float64 `json:"breaker_opens"`
+	BreakerRejected float64 `json:"breaker_rejected"`
+}
+
+// scrapeProm fetches one Prometheus text exposition and returns its single
+// scalar samples (counters and gauges; histogram series keep their suffixed
+// names). Labelled series are ignored — the daemon's registry exports none.
+func scrapeProm(client *http.Client, target string) (map[string]float64, error) {
+	resp, err := client.Get(target + "/metrics?format=prom")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape metrics: status %d", resp.StatusCode)
+	}
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		samples[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: scrape metrics: %w", err)
+	}
+	return samples, nil
+}
+
+// counterDeltas folds two scrapes into the report's server counters. The
+// registry renders counters with a _total suffix and dots as underscores
+// (store.corrupt.total therefore becomes store_corrupt_total_total).
+func counterDeltas(before, after map[string]float64) *ServerCounters {
+	d := func(name string) float64 {
+		v := after[name] - before[name]
+		if v < 0 {
+			// The daemon restarted mid-window and its counters reset; the
+			// post-restart absolute value is the window's best estimate.
+			v = after[name]
+		}
+		return v
+	}
+	sc := &ServerCounters{
+		CacheHits:       d("engine_cache_hit_total"),
+		StoreHits:       d("store_hit_total"),
+		SolveRequests:   d("serve_solve_requests_total"),
+		SolvesExecuted:  d("serve_solve_executed_total"),
+		StoreCorrupt:    d("store_corrupt_total_total"),
+		BreakerOpens:    d("breaker_open_total"),
+		BreakerRejected: d("serve_breaker_rejected_total"),
+	}
+	if sc.SolveRequests > 0 {
+		sc.WarmHitRate = (sc.CacheHits + sc.StoreHits) / sc.SolveRequests
+	}
+	return sc
+}

@@ -9,9 +9,10 @@ import (
 )
 
 // ReqTrace accumulates the per-stage attribution of one request as it flows
-// through the serving tier: queue wait, cache lookup, singleflight wait, the
-// HJB/FPK sweeps of the solve it triggered, fixed-point iteration counts,
-// resilience retries. It rides the context (WithReqTrace / ReqTraceFrom)
+// through the serving tier: queue wait, cache lookup, the persistent tier's
+// store_lookup, singleflight wait, the HJB/FPK sweeps of the solve it
+// triggered, fixed-point iteration counts, resilience retries. It rides the
+// context (WithReqTrace / ReqTraceFrom)
 // across the serve → engine → resilience layers, and its stages land in the
 // structured access log next to the request ID. All methods are safe for
 // concurrent use and no-ops on a nil receiver, so instrumented layers never

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// startDaemon runs the full daemon (workers + drain path) and returns its
+// base URL plus an explicit drain function so tests can restart against the
+// same cache directory.
+func startDaemon(t *testing.T, cfg Config) (base string, drain func()) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	var once bool
+	drain = func() {
+		if once {
+			return
+		}
+		once = true
+		cancel()
+		if err := <-done; err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+	t.Cleanup(drain)
+	return "http://" + ln.Addr().String(), drain
+}
+
+// TestStoreTierWarmRestart is the durability contract end to end: a daemon
+// solves, drains, and a fresh daemon over the same cache directory answers
+// the same request from the disk tier — byte-identical body, no engine solve,
+// X-Mfgcp-Cache: store — then promotes it so the next repeat is a memory hit.
+func TestStoreTierWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"Workload": {"Requests": 11, "Pop": 0.35, "Timeliness": 3}}`
+
+	cfg, _ := testConfig(t)
+	cfg.CacheDir = dir
+	base, drain := startDaemon(t, cfg)
+	resp, coldBody := postSolve(t, http.DefaultClient, base, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: status %d body %s", resp.StatusCode, coldBody)
+	}
+	if got := resp.Header.Get("X-Mfgcp-Cache"); got != "miss" {
+		t.Fatalf("cold solve X-Mfgcp-Cache = %q, want miss", got)
+	}
+	drain() // flushes the write-behind queue and fsyncs segments
+
+	cfg2, reg2 := testConfig(t)
+	cfg2.CacheDir = dir
+	base2, _ := startDaemon(t, cfg2)
+	resp2, warmBody := postSolve(t, http.DefaultClient, base2, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: status %d body %s", resp2.StatusCode, warmBody)
+	}
+	if got := resp2.Header.Get("X-Mfgcp-Cache"); got != "store" {
+		t.Errorf("restarted daemon X-Mfgcp-Cache = %q, want store", got)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Errorf("restart changed the response:\n%s\nvs\n%s", coldBody, warmBody)
+	}
+	snap := reg2.Snapshot()
+	if got := snap.Counters["serve.solve.executed"]; got != 0 {
+		t.Errorf("restarted daemon re-solved: serve.solve.executed = %g, want 0", got)
+	}
+	if got := snap.Counters["store.hit"]; got != 1 {
+		t.Errorf("store.hit = %g, want 1", got)
+	}
+
+	// The store hit was promoted into the LRU: the repeat is a memory hit.
+	resp3, hotBody := postSolve(t, http.DefaultClient, base2, body)
+	if got := resp3.Header.Get("X-Mfgcp-Cache"); got != "hit" {
+		t.Errorf("promoted repeat X-Mfgcp-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, hotBody) {
+		t.Errorf("promoted repeat body differs")
+	}
+}
+
+// TestNeverPersistNonConverged pins the persistence invariant: a solve capped
+// before convergence is served as 200 converged=false but must never reach
+// the disk tier, or a restart would replay an unconverged fixed point forever.
+func TestNeverPersistNonConverged(t *testing.T) {
+	dir := t.TempDir()
+	cfg, _ := testConfig(t)
+	cfg.CacheDir = dir
+	cfg.Solver.MaxIters = 1
+	cfg.Solver.Tol = 1e-15
+	base, drain := startDaemon(t, cfg)
+
+	resp, data := postSolve(t, http.DefaultClient, base,
+		`{"Workload": {"Requests": 9, "Pop": 0.3, "Timeliness": 2}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s, want 200", resp.StatusCode, data)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Converged {
+		t.Fatal("one best-response iteration converged; the test premise broke")
+	}
+	drain()
+
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if n := st.Len(); n != 0 {
+		t.Errorf("non-converged equilibrium persisted: store holds %d records, want 0", n)
+	}
+}
+
+// TestStoreTierSurvivesCorruption is the mutation-style read-path invariant:
+// flip bits in the persisted record and restart — the daemon must never serve
+// the CRC-failed bytes (it re-solves instead), must count the corruption, and
+// must still produce the same correct answer.
+func TestStoreTierSurvivesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"Workload": {"Requests": 13, "Pop": 0.45, "Timeliness": 3}}`
+
+	cfg, _ := testConfig(t)
+	cfg.CacheDir = dir
+	base, drain := startDaemon(t, cfg)
+	resp, goodBody := postSolve(t, http.DefaultClient, base, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed solve: status %d", resp.StatusCode)
+	}
+	drain()
+
+	// Flip a byte in the middle of every segment's payload region.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments persisted (err=%v)", err)
+	}
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			continue
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg2, reg2 := testConfig(t)
+	cfg2.CacheDir = dir
+	base2, _ := startDaemon(t, cfg2)
+	resp2, data2 := postSolve(t, http.DefaultClient, base2, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-corruption solve: status %d body %s", resp2.StatusCode, data2)
+	}
+	// The corrupt record must not have been served: this was a fresh solve.
+	if got := resp2.Header.Get("X-Mfgcp-Cache"); got != "miss" {
+		t.Errorf("X-Mfgcp-Cache = %q after corruption, want miss", got)
+	}
+	snap := reg2.Snapshot()
+	if got := snap.Counters["serve.solve.executed"]; got != 1 {
+		t.Errorf("serve.solve.executed = %g, want 1 (re-solve after corruption)", got)
+	}
+	if got := snap.Counters["store.corrupt.total"]; got < 1 {
+		t.Errorf("store.corrupt.total = %g, want ≥ 1", got)
+	}
+	// And the recomputed answer matches the pre-corruption one exactly.
+	if !bytes.Equal(goodBody, data2) {
+		t.Errorf("recovered answer differs from the original:\n%s\nvs\n%s", goodBody, data2)
+	}
+}
+
+// TestRetryBudgetEndToEnd drives the X-Mfgcp-Retry contract over HTTP: marked
+// retries draw from the budget, a dry budget sheds them with 429 before they
+// reach the solver, and retries answered by the cache stay free.
+func TestRetryBudgetEndToEnd(t *testing.T) {
+	cfg, reg := testConfig(t)
+	cfg.RetryBudgetRatio = 0.1
+	cfg.RetryBudgetBurst = 1
+	base, _ := startDaemon(t, cfg)
+
+	postRetry := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/solve", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Mfgcp-Retry", "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// The single burst token funds the first retry's fresh solve.
+	first := `{"Workload": {"Requests": 6, "Pop": 0.2, "Timeliness": 2}}`
+	resp, data := postRetry(first)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first retry: status %d body %s", resp.StatusCode, data)
+	}
+	// A second retry needing a fresh solve finds the budget dry.
+	resp, data = postRetry(`{"Workload": {"Requests": 8, "Pop": 0.6, "Timeliness": 2}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("dry-budget retry: status %d body %s, want 429", resp.StatusCode, data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Kind != "overloaded" {
+		t.Errorf("dry-budget retry body = %s, want kind overloaded", data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("dry-budget 429 without Retry-After")
+	}
+	if got := reg.Snapshot().Counters["serve.retry.denied"]; got != 1 {
+		t.Errorf("serve.retry.denied = %g, want 1", got)
+	}
+	// A retry of the already-solved request is a cache hit: no budget needed.
+	resp, data = postRetry(first)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached retry: status %d body %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Mfgcp-Cache"); got != "hit" {
+		t.Errorf("cached retry X-Mfgcp-Cache = %q, want hit", got)
+	}
+
+	// Fresh (unmarked) traffic is never budget-limited.
+	resp, data = postSolve(t, http.DefaultClient, base,
+		`{"Workload": {"Requests": 10, "Pop": 0.7, "Timeliness": 2}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh request after dry budget: status %d body %s", resp.StatusCode, data)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -24,9 +25,13 @@ func TestErrorCodeMapping(t *testing.T) {
 		// queue occupancy deterministic.
 		workers    bool
 		prefill    bool // park one request in the queue first
+		trip       bool // trip the circuit breaker with a diverging solve first
 		body       string
 		wantStatus int
 		wantKind   string
+		// retryAfterMax > 0 asserts a Retry-After header parsing to an integer
+		// in [1, retryAfterMax] — the jittered backoff contract of 429/503.
+		retryAfterMax int64
 	}{
 		{
 			name:       "malformed JSON",
@@ -68,12 +73,27 @@ func TestErrorCodeMapping(t *testing.T) {
 			wantKind:   "interrupted",
 		},
 		{
-			name:      "queue full",
-			prefill:   true,
-			configure: func(c *Config) { c.QueueDepth = 1 },
+			name:       "queue full",
+			prefill:    true,
+			configure:  func(c *Config) { c.QueueDepth = 1 },
 			body:       `{"Workload": {"Requests": 5, "Pop": 0.2}}`,
 			wantStatus: http.StatusTooManyRequests,
 			wantKind:   "overloaded",
+			// 1s base backoff + up to 3s jitter.
+			retryAfterMax: 4,
+		},
+		{
+			name:    "breaker open",
+			workers: true,
+			trip:    true,
+			configure: func(c *Config) {
+				c.Breaker = BreakerConfig{Failures: 1, OpenFor: 5 * time.Second}
+			},
+			body:       `{"Workload": {"Requests": 7, "Pop": 0.4, "Timeliness": 2}}`,
+			wantStatus: http.StatusServiceUnavailable,
+			wantKind:   "breaker_open",
+			// ≤5s left in the open window, rounded up, + up to 3s jitter.
+			retryAfterMax: 8,
 		},
 	}
 	for _, tt := range tests {
@@ -119,9 +139,33 @@ func TestErrorCodeMapping(t *testing.T) {
 				}
 			}
 
+			if tt.trip {
+				// One diverging solve is the whole failure streak at
+				// Failures=1; its 422 response means the verdict already
+				// reached the breaker, so the next fresh solve fails fast.
+				resp, data := postSolve(t, http.DefaultClient, base,
+					`{"Solver": {"BlowupResidual": 1e-12}, "Workload": {"Requests": 12, "Pop": 0.3, "Timeliness": 2}}`)
+				if resp.StatusCode != http.StatusUnprocessableEntity {
+					t.Fatalf("breaker trip solve: status %d body %s, want 422", resp.StatusCode, data)
+				}
+				if got := reg.Snapshot().Counters["breaker.open"]; got != 1 {
+					t.Fatalf("breaker.open = %g after the tripping solve, want 1", got)
+				}
+			}
+
 			resp, data := postSolve(t, http.DefaultClient, base, tt.body)
 			if resp.StatusCode != tt.wantStatus {
 				t.Fatalf("status %d body %s, want %d", resp.StatusCode, data, tt.wantStatus)
+			}
+			if tt.retryAfterMax > 0 {
+				ra := resp.Header.Get("Retry-After")
+				v, err := strconv.ParseInt(ra, 10, 64)
+				if err != nil {
+					t.Fatalf("Retry-After %q is not an integer: %v", ra, err)
+				}
+				if v < 1 || v > tt.retryAfterMax {
+					t.Errorf("Retry-After = %d, want in [1, %d]", v, tt.retryAfterMax)
+				}
 			}
 			var eb errorBody
 			if err := json.Unmarshal(data, &eb); err != nil {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -151,13 +152,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	timeout := s.clampTimeout(req.TimeoutMs)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout+time.Second)
 	defer cancel()
-	eq, out, err := s.solve(ctx, cfg, wl, timeout)
+	isRetry := r.Header.Get("X-Mfgcp-Retry") != ""
+	eq, out, err := s.solve(ctx, cfg, wl, timeout, isRetry)
 	if err != nil && !(errors.Is(err, engine.ErrNotConverged) && eq != nil) {
 		s.writeError(w, err)
 		return
 	}
 
-	w.Header().Set("X-Mfgcp-Cache", hitMiss(out.CacheHit))
+	w.Header().Set("X-Mfgcp-Cache", cacheTier(out))
 	w.Header().Set("X-Mfgcp-Coalesced", strconv.FormatBool(out.Coalesced))
 	w.Header().Set("X-Mfgcp-Solve-Ms", strconv.FormatFloat(out.SolveTime.Seconds()*1e3, 'f', 3, 64))
 	writeJSON(w, http.StatusOK, summarize(eq))
@@ -356,22 +358,29 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) er
 // writeError maps an error onto the uniform envelope:
 //
 //	400 invalid_request — malformed or invalid request documents
-//	429 overloaded      — queue full, retry after backoff
+//	429 overloaded      — queue full or retry budget dry, retry after backoff
 //	422 diverged        — the best-response iteration produced garbage
+//	503 breaker_open    — the solver circuit breaker is failing fast
 //	504 interrupted     — deadline or shutdown cancelled the solve
 //	500 internal        — anything else
 //
-// ErrNotConverged is not an error at this layer: the partial equilibrium is
-// returned as a 200 with converged=false.
+// 429 and 503 carry a jittered Retry-After so a synchronised client fleet
+// does not reconverge on the daemon (or on the breaker's half-open window)
+// in one thundering herd. ErrNotConverged is not an error at this layer: the
+// partial equilibrium is returned as a 200 with converged=false.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	kind, status := "internal", http.StatusInternalServerError
 	var reqErr requestError
+	var open *breakerOpenError
 	switch {
 	case errors.As(err, &reqErr):
 		kind, status = "invalid_request", http.StatusBadRequest
-	case errors.Is(err, ErrOverloaded):
+	case errors.As(err, &open):
+		kind, status = "breaker_open", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(open.retryAfter))
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrRetryBudget):
 		kind, status = "overloaded", http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
 	case errors.Is(err, engine.ErrDiverged):
 		kind, status = "diverged", http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -381,6 +390,16 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	body.Error.Kind = kind
 	body.Error.Message = err.Error()
 	writeJSON(w, status, body)
+}
+
+// retryAfterSeconds renders a backoff hint with up to +3s of jitter, rounded
+// up to whole seconds (Retry-After's unit; never below 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs+int64(rand.IntN(4)), 10)
 }
 
 // writeJSON writes one JSON response, buffered so an encode failure cannot
@@ -396,9 +415,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-func hitMiss(hit bool) string {
-	if hit {
+// cacheTier names which rung of the ladder answered: "hit" (in-memory LRU),
+// "store" (persistent disk tier, promoted on the way out) or "miss".
+func cacheTier(out solveOutcome) string {
+	switch {
+	case out.CacheHit:
 		return "hit"
+	case out.StoreHit:
+		return "store"
 	}
 	return "miss"
 }

@@ -19,6 +19,15 @@
 //   - per-request deadlines mapped onto engine.SolveContext, and graceful
 //     drain: SIGTERM stops accepting work, finishes the in-flight requests
 //     and exits cleanly.
+//
+// The durable tier (CacheDir) extends the ladder below the LRU: an LRU miss
+// consults the append-only segment store (internal/store), promotes a hit
+// back into the LRU, and every converged solve is persisted write-behind, so
+// a restarted daemon answers its working set from disk instead of
+// cold-starting the PDE path. Overload protection layers on top: a circuit
+// breaker around engine solves fails fast with 503 once divergence/timeout
+// failures streak, and a retry budget sheds marked retries before they storm
+// the worker pool (see breaker.go).
 package serve
 
 import (
@@ -36,6 +45,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mec"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // ErrOverloaded is returned (and mapped to HTTP 429) when the solver queue is
@@ -86,6 +96,27 @@ type Config struct {
 	// SlowRequestThreshold promotes access-log records of slower requests to
 	// warning level and counts them in serve.request.slow (default 1s).
 	SlowRequestThreshold time.Duration
+	// CacheDir, when set, enables the persistent disk tier below the LRU: an
+	// append-only segment store of solved equilibria that survives restarts
+	// and SIGKILL (crash recovery truncates torn tails and skips corrupt
+	// records). Empty disables the tier.
+	CacheDir string
+	// CacheDiskBytes bounds the disk tier (default 256 MiB); the oldest
+	// segments are compacted away past it.
+	CacheDiskBytes int64
+	// CacheSegmentBytes overrides the segment roll threshold (default 8 MiB;
+	// tests shrink it to force rolls).
+	CacheSegmentBytes int64
+	// Breaker configures the circuit breaker around engine solves (zero
+	// value: trip after 5 consecutive divergence/timeout failures, fail fast
+	// for 5s, one half-open probe). Failures < 0 disables it.
+	Breaker BreakerConfig
+	// RetryBudgetRatio is the retry-budget refill per fresh solve admitted
+	// (default 0.1: retries may consume ~10% of solve capacity); negative
+	// disables the budget. RetryBudgetBurst is the initial/maximum token
+	// balance (default 20).
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
 }
 
 // withDefaults fills the zero fields.
@@ -129,9 +160,12 @@ func (c Config) withDefaults() Config {
 // Server is the daemon state: the shared equilibrium cache, the bounded
 // worker pool and the singleflight table of in-flight solves.
 type Server struct {
-	cfg   Config
-	rec   obs.Recorder
-	cache *engine.Cache
+	cfg     Config
+	rec     obs.Recorder
+	cache   *engine.Cache
+	store   *store.Store // nil when CacheDir is unset
+	breaker *breaker
+	retries *retryBudget
 
 	jobs     chan *flight
 	mu       sync.Mutex
@@ -166,6 +200,19 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var disk *store.Store
+	if cfg.CacheDir != "" {
+		disk, err = store.Open(store.Config{
+			Dir:          cfg.CacheDir,
+			MaxDiskBytes: cfg.CacheDiskBytes,
+			SegmentBytes: cfg.CacheSegmentBytes,
+			Obs:          cfg.Obs,
+			Log:          cfg.AccessLog,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: open cache dir: %w", err)
+		}
+	}
 	epochSlots := cfg.Workers / 2
 	if epochSlots < 1 {
 		epochSlots = 1
@@ -175,6 +222,9 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		rec:        obs.OrNop(cfg.Obs),
 		cache:      cache,
+		store:      disk,
+		breaker:    newBreaker(cfg.Breaker, cfg.Obs),
+		retries:    newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 		jobs:       make(chan *flight, cfg.QueueDepth),
 		inflight:   make(map[string]*flight),
 		epochSem:   make(chan struct{}, epochSlots),
@@ -187,11 +237,25 @@ func New(cfg Config) (*Server, error) {
 // use it).
 func (s *Server) Cache() *engine.Cache { return s.cache }
 
+// Store exposes the persistent disk tier (nil when CacheDir is unset); tests
+// use it to flush and inspect the write-behind queue.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Close releases resources owned by a server that never ran (New succeeded
+// but Run/Serve was not reached); a served server cleans up in stop.
+func (s *Server) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}
+
 // Run listens on cfg.Addr and serves until ctx is cancelled, then drains.
 // The returned error is nil on a clean drain.
 func (s *Server) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
+		_ = s.Close()
 		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
 	}
 	return s.Serve(ctx, ln)
@@ -237,11 +301,18 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return nil
 }
 
-// stop closes the solver pool and releases the life context. Idempotent via
-// the draining flag only for the drain path; Serve calls it exactly once.
+// stop closes the solver pool, flushes the disk tier and releases the life
+// context. Serve calls it exactly once.
 func (s *Server) stop() {
 	close(s.jobs)
 	s.workerWG.Wait()
+	if s.store != nil {
+		// Workers are done, so no more Puts race the drain; Close empties the
+		// write-behind queue and fsyncs every segment.
+		if err := s.store.Close(); err != nil {
+			s.rec.Add("serve.store.close.errors", 1)
+		}
+	}
 	s.lifeCancel()
 }
 
@@ -261,6 +332,7 @@ type flight struct {
 
 	enqueued  time.Time
 	queueWait time.Duration // written by the worker before solving (done not yet closed)
+	probe     bool          // this flight holds the breaker's half-open probe slot
 
 	done      chan struct{}
 	eq        *engine.Equilibrium
@@ -273,15 +345,18 @@ type flight struct {
 // byte-identical bodies.
 type solveOutcome struct {
 	CacheHit  bool
+	StoreHit  bool
 	Coalesced bool
 	SolveTime time.Duration
 }
 
-// solve answers one equilibrium query through the cache → singleflight →
-// worker-pool ladder. cfg must already be validated; ctx bounds only this
-// caller's wait (the solve itself runs under the flight's own deadline so one
-// impatient client cannot poison the shared result).
-func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload, timeout time.Duration) (*engine.Equilibrium, solveOutcome, error) {
+// solve answers one equilibrium query through the cache → store →
+// singleflight → worker-pool ladder. cfg must already be validated; ctx bounds
+// only this caller's wait (the solve itself runs under the flight's own
+// deadline so one impatient client cannot poison the shared result). isRetry
+// marks a client-declared retry, which must pass the retry budget before it
+// may start a fresh solve (cache, store and coalesced answers stay free).
+func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload, timeout time.Duration, isRetry bool) (*engine.Equilibrium, solveOutcome, error) {
 	s.rec.Add("serve.solve.requests", 1)
 	tr := obs.ReqTraceFrom(ctx)
 	key := engine.CacheKey(cfg, w)
@@ -293,17 +368,35 @@ func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload
 	if hit {
 		return eq, solveOutcome{CacheHit: true}, nil
 	}
+	if eq, ok := s.storeGet(key, tr); ok {
+		return eq, solveOutcome{StoreHit: true}, nil
+	}
 
 	s.mu.Lock()
 	f, joined := s.inflight[key]
 	if !joined {
+		// This request is about to trigger a fresh engine solve: the overload
+		// defences gate here, not earlier, so reads and coalesced joins keep
+		// serving while the solver is protected.
+		if !s.retries.admit(isRetry) {
+			s.mu.Unlock()
+			s.rec.Add("serve.retry.denied", 1)
+			return nil, solveOutcome{}, ErrRetryBudget
+		}
+		probe, retryAfter, ok := s.breaker.Allow()
+		if !ok {
+			s.mu.Unlock()
+			s.rec.Add("serve.breaker.rejected", 1)
+			return nil, solveOutcome{}, &breakerOpenError{retryAfter: retryAfter}
+		}
 		f = &flight{key: key, cfg: cfg, w: w, timeout: timeout, trace: tr,
-			enqueued: time.Now(), done: make(chan struct{})}
+			probe: probe, enqueued: time.Now(), done: make(chan struct{})}
 		select {
 		case s.jobs <- f:
 			s.inflight[key] = f
 		default:
 			s.mu.Unlock()
+			s.breaker.abortProbe(probe)
 			s.rec.Add("serve.solve.shed", 1)
 			return nil, solveOutcome{}, ErrOverloaded
 		}
@@ -331,6 +424,34 @@ func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload
 		s.rec.Add("serve.solve.abandoned", 1)
 		return nil, solveOutcome{Coalesced: joined}, fmt.Errorf("serve: request abandoned: %w", ctx.Err())
 	}
+}
+
+// storeGet consults the persistent tier after an LRU miss and promotes a hit
+// back into the LRU so the next repeat is a memory hit. A blob that fails to
+// decode is treated as a miss (the store already refuses CRC-invalid bytes;
+// a gob mismatch here means a format drift across versions, not corruption).
+func (s *Server) storeGet(key string, tr *obs.ReqTrace) (*engine.Equilibrium, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	start := time.Now()
+	blob, ok := s.store.Get(key)
+	var eq *engine.Equilibrium
+	if ok {
+		var err error
+		if eq, err = engine.UnmarshalEquilibrium(blob); err != nil {
+			s.rec.Add("serve.store.decode.errors", 1)
+			eq, ok = nil, false
+		}
+	}
+	dur := time.Since(start)
+	s.rec.Observe("serve.store.lookup.seconds", dur.Seconds())
+	tr.Observe("store_lookup", dur)
+	if !ok {
+		return nil, false
+	}
+	s.cache.Put(s.rec, key, eq)
+	return eq, true
 }
 
 // maxSessionsPerWorker bounds the per-worker session memo: serving traffic
@@ -369,6 +490,9 @@ func (s *Server) runFlight(f *flight, sessions map[string]*engine.Session) {
 		sess, err = engine.NewSession(f.cfg)
 		if err != nil {
 			f.err = err
+			// The solve never ran; a config that cannot build a session says
+			// nothing about solver health, so release the probe slot unjudged.
+			s.breaker.abortProbe(f.probe)
 			return
 		}
 		sessions[skey] = sess
@@ -396,9 +520,41 @@ func (s *Server) runFlight(f *flight, sessions map[string]*engine.Session) {
 	f.solveTime = time.Since(start)
 	s.rec.Observe("serve.solve.seconds", f.solveTime.Seconds())
 	f.eq, f.err = eq, err
+	s.breaker.onResult(classifySolve(err), f.probe)
 	if err == nil && eq != nil && eq.Converged {
 		s.cache.Put(s.rec, f.key, eq)
+		s.persist(f.key, eq)
 	}
+}
+
+// classifySolve maps a solve error onto breaker evidence: divergence and
+// deadlines are solver failures, a drain cancellation is neutral, and
+// ErrNotConverged is a served 200 (success as far as solver health goes).
+func classifySolve(err error) solveVerdict {
+	switch {
+	case err == nil, errors.Is(err, engine.ErrNotConverged):
+		return verdictSuccess
+	case errors.Is(err, context.Canceled):
+		return verdictNeutral
+	default:
+		return verdictFailure
+	}
+}
+
+// persist hands one converged equilibrium to the disk tier, write-behind.
+// Only converged results ever reach the store: a non-converged partial answer
+// is a 200 for the client that asked, but persisting it would replay an
+// unconverged fixed point to every future restart.
+func (s *Server) persist(key string, eq *engine.Equilibrium) {
+	if s.store == nil {
+		return
+	}
+	blob, err := engine.MarshalEquilibrium(eq)
+	if err != nil {
+		s.rec.Add("serve.store.encode.errors", 1)
+		return
+	}
+	s.store.Put(key, blob)
 }
 
 // clampTimeout resolves a request's timeout_ms against the server bounds.

@@ -1,0 +1,376 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func testStore(t *testing.T, cfg Config) (*Store, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry(nil)
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	cfg.Obs = reg
+	cfg.Log = slog.New(slog.NewTextHandler(testWriter{t}, nil))
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, reg
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func blobFor(i int) []byte {
+	return bytes.Repeat([]byte{byte(i), byte(i >> 8)}, 20+i%7)
+}
+
+// TestRoundTripAndRecovery is the tentpole happy path: puts survive a close
+// and a fresh Open recovers the full index from the segment files.
+func TestRoundTripAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, reg := testStore(t, Config{Dir: dir})
+	const n = 25
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("key-%03d", i), blobFor(i))
+	}
+	s.Flush()
+	for i := 0; i < n; i++ {
+		blob, ok := s.Get(fmt.Sprintf("key-%03d", i))
+		if !ok || !bytes.Equal(blob, blobFor(i)) {
+			t.Fatalf("key-%03d: ok=%v blob mismatch", i, ok)
+		}
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("absent key reported present")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["store.put"]; got != n {
+		t.Errorf("store.put = %g, want %d", got, n)
+	}
+	if got := snap.Counters["store.hit"]; got != n {
+		t.Errorf("store.hit = %g, want %d", got, n)
+	}
+	if got := snap.Counters["store.miss"]; got != 1 {
+		t.Errorf("store.miss = %g, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, reg2 := testStore(t, Config{Dir: dir})
+	if s2.Len() != n {
+		t.Fatalf("recovered %d records, want %d", s2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		blob, ok := s2.Get(fmt.Sprintf("key-%03d", i))
+		if !ok || !bytes.Equal(blob, blobFor(i)) {
+			t.Fatalf("after recovery, key-%03d: ok=%v blob mismatch", i, ok)
+		}
+	}
+	if got := reg2.Snapshot().Counters["store.recovered"]; got != n {
+		t.Errorf("store.recovered = %g, want %d", got, n)
+	}
+}
+
+// TestTornTailTruncation crashes mid-append by construction: garbage (and a
+// partial frame) after the last full record must be truncated away on Open
+// while the valid prefix is fully retained — startup succeeds, it never
+// fails on a torn segment.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := testStore(t, Config{Dir: dir})
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), blobFor(i))
+	}
+	s.Flush()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if len(segs) != 1 {
+		t.Fatalf("expected 1 segment, got %v", segs)
+	}
+	intact, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn append: a valid header prefix whose body never made it to disk.
+	torn := append(append([]byte{}, intact...), appendRecord(nil, "late-key", blobFor(9))[:headerSize+3]...)
+	if err := os.WriteFile(segs[0], torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, reg := testStore(t, Config{Dir: dir})
+	if s2.Len() != 5 {
+		t.Fatalf("recovered %d records after torn tail, want 5", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := s2.Get(fmt.Sprintf("key-%d", i)); !ok {
+			t.Errorf("key-%d lost to truncation", i)
+		}
+	}
+	if got := reg.Snapshot().Counters["store.truncated"]; got != 1 {
+		t.Errorf("store.truncated = %g, want 1", got)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, intact) {
+		t.Errorf("segment not truncated back to the valid prefix: %d bytes, want %d", len(data), len(intact))
+	}
+	// The tier keeps accepting writes after recovery.
+	s2.Put("post-recovery", blobFor(7))
+	s2.Flush()
+	if _, ok := s2.Get("post-recovery"); !ok {
+		t.Error("store rejects writes after torn-tail recovery")
+	}
+}
+
+// TestCorruptRecordSkipped is the mutation-style never-serve-CRC-fail check:
+// a bit-flipped record is skipped during recovery, logged, counted in
+// store.corrupt.total, and the surrounding records survive.
+func TestCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := testStore(t, Config{Dir: dir})
+	for i := 0; i < 3; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), blobFor(i))
+	}
+	s.Flush()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit of the middle record (frame lengths untouched, so
+	// the scan can resynchronise at the next record).
+	mid := recordSize("key-0", blobFor(0)) + headerSize + int64(len("key-1"))
+	data[mid] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, reg := testStore(t, Config{Dir: dir})
+	if _, ok := s2.Get("key-1"); ok {
+		t.Fatal("corrupt record served — never-serve-CRC-fail invariant broken")
+	}
+	for _, k := range []string{"key-0", "key-2"} {
+		if _, ok := s2.Get(k); !ok {
+			t.Errorf("%s lost alongside the corrupt record", k)
+		}
+	}
+	if got := reg.Snapshot().Counters["store.corrupt.total"]; got != 1 {
+		t.Errorf("store.corrupt.total = %g, want 1", got)
+	}
+}
+
+// TestGetTimeCorruption rots a record after startup: Get must verify the CRC
+// on every read, drop the record and report a miss, never return the bytes.
+func TestGetTimeCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, reg := testStore(t, Config{Dir: dir})
+	s.Put("k", blobFor(3))
+	s.Flush()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, headerSize+1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if blob, ok := s.Get("k"); ok {
+		t.Fatalf("CRC-failed record served: %x", blob)
+	}
+	if got := reg.Snapshot().Counters["store.corrupt.total"]; got != 1 {
+		t.Errorf("store.corrupt.total = %g, want 1", got)
+	}
+	// The record is gone from the index: a repeat is a plain miss.
+	if _, ok := s.Get("k"); ok {
+		t.Error("dropped record resurfaced")
+	}
+}
+
+// TestCompactionBoundsDisk forces segment rolls with a tiny budget and
+// checks the oldest segments (and their keys) are evicted while the newest
+// stay servable and the disk usage stays bounded.
+func TestCompactionBoundsDisk(t *testing.T) {
+	s, reg := testStore(t, Config{SegmentBytes: 256, MaxDiskBytes: 1024})
+	const n = 60
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("key-%03d", i), blobFor(i))
+	}
+	s.Flush()
+	if got := s.DiskBytes(); got > 1024+256 {
+		t.Errorf("disk usage %d exceeds budget+active slack", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["store.compactions"] == 0 {
+		t.Fatal("no compactions under a 1 KiB budget")
+	}
+	if snap.Counters["store.evicted"] == 0 {
+		t.Fatal("compaction evicted no records")
+	}
+	if _, ok := s.Get(fmt.Sprintf("key-%03d", n-1)); !ok {
+		t.Error("newest record evicted")
+	}
+	if _, ok := s.Get("key-000"); ok {
+		t.Error("oldest record survived a full compaction cycle")
+	}
+	if s.Len() >= n {
+		t.Errorf("index holds %d records, eviction never happened", s.Len())
+	}
+}
+
+// TestDuplicatePutSkipped: keys are immutable, so re-putting an existing key
+// must not grow the log.
+func TestDuplicatePutSkipped(t *testing.T) {
+	s, reg := testStore(t, Config{})
+	s.Put("k", blobFor(1))
+	s.Flush()
+	size := s.DiskBytes()
+	for i := 0; i < 5; i++ {
+		s.Put("k", blobFor(1))
+	}
+	s.Flush()
+	if got := s.DiskBytes(); got != size {
+		t.Errorf("duplicate puts grew the log: %d -> %d bytes", size, got)
+	}
+	if got := reg.Snapshot().Counters["store.put.duplicate"]; got != 5 {
+		t.Errorf("store.put.duplicate = %g, want 5", got)
+	}
+}
+
+// TestDiskFullDegradation injects append failures (the ENOSPC path): puts
+// are dropped and counted, existing records keep serving, and the store
+// recovers once the disk frees up.
+func TestDiskFullDegradation(t *testing.T) {
+	s, reg := testStore(t, Config{})
+	s.Put("pre", blobFor(1))
+	s.Flush()
+
+	var mu sync.Mutex
+	failing := true
+	s.failAppend = func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing {
+			return errors.New("no space left on device")
+		}
+		return nil
+	}
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("lost-%d", i), blobFor(i))
+	}
+	s.Flush()
+	if got := reg.Snapshot().Counters["store.write.errors"]; got != 4 {
+		t.Errorf("store.write.errors = %g, want 4", got)
+	}
+	if _, ok := s.Get("lost-0"); ok {
+		t.Error("failed append still indexed")
+	}
+	if _, ok := s.Get("pre"); !ok {
+		t.Error("pre-existing record lost during disk-full degradation")
+	}
+
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	s.Put("after", blobFor(2))
+	s.Flush()
+	if _, ok := s.Get("after"); !ok {
+		t.Error("store did not recover after the disk freed up")
+	}
+}
+
+// TestPutAfterCloseAndQueueOverflow: Put after Close is a no-op and an
+// overflowing write-behind queue drops instead of blocking.
+func TestPutAfterCloseAndQueueOverflow(t *testing.T) {
+	s, _ := testStore(t, Config{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", blobFor(1)) // must not panic or block
+	if err := s.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}
+
+// TestConcurrentAccess hammers Put/Get from many goroutines under -race.
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := testStore(t, Config{SegmentBytes: 512, MaxDiskBytes: 4096})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				s.Put(key, blobFor(i))
+				s.Get(key)
+				s.Get(fmt.Sprintf("g%d-k%d", (g+1)%8, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Flush()
+	if s.Len() == 0 {
+		t.Fatal("no records survived the concurrent run")
+	}
+}
+
+// TestOpenIgnoresForeignFiles: non-segment files in the cache dir are left
+// alone and do not fail recovery.
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := testStore(t, Config{Dir: dir})
+	s.Put("k", blobFor(1))
+	s.Flush()
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("store unusable with foreign files present")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Errorf("foreign file touched: %v", err)
+	}
+}
+
+// TestOpenValidation pins the error paths of Open.
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Error("empty dir accepted")
+	}
+	file := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(file, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: filepath.Join(file, "sub")}); err == nil {
+		t.Error("dir under a regular file accepted")
+	}
+}
