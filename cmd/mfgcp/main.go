@@ -30,6 +30,13 @@
 // POST /v1/solve, POST /v1/policy/epoch, /healthz, /readyz); see
 // `mfgcp serve -h` and the README's Serving section.
 //
+// `mfgcp precompute` sweeps a lattice over the quantised workload space
+// offline into a compact surrogate table of equilibrium summaries with
+// measured per-cell error bounds; `mfgcp serve -surrogate TABLE` and
+// `mfgcp solve -surrogate TABLE` then answer in-region requests from it by
+// multilinear interpolation, falling back to the exact solver outside the
+// trust region.
+//
 // `mfgcp loadgen` replays trace-derived workloads against a running daemon at
 // a constant open-loop rate and reports p50/p99/p999 latency plus
 // error/shed/timeout rates as JSON, exiting non-zero when a declared SLO is
@@ -75,6 +82,8 @@ func run(args []string) (retErr error) {
 		return nil
 	case "solve":
 		return solveCmd(args[1:])
+	case "precompute":
+		return precomputeCmd(args[1:])
 	case "market":
 		return marketCmd(args[1:])
 	case "serve":
@@ -186,6 +195,7 @@ usage:
   mfgcp all [flags]          run every experiment
   mfgcp <id> [flags]         run one experiment (e.g. fig5, table2)
   mfgcp solve [flags]        solve one custom equilibrium (see solve -h)
+  mfgcp precompute [flags]   sweep a workload lattice into a surrogate table (see precompute -h)
   mfgcp market [flags]       run one agent-based market (see market -h)
   mfgcp serve [flags]        run the equilibrium-serving daemon (see serve -h)
   mfgcp loadgen [flags]      load-test a running daemon against an SLO (see loadgen -h)
@@ -208,9 +218,10 @@ market resilience flags (see mfgcp market -h):
   -fault-plan SPEC    seeded fault injection (churn=,drop=,solver=,seed=,budget=)
   -recover            retry failing solves under the escalation ladder
 
-solve/market also accept -config FILE (sparse JSON configuration merged over
-the defaults; explicitly-set flags win). serve answers POST /v1/solve and
-POST /v1/policy/epoch with bounded workers, request coalescing, load shedding
-and graceful drain (see mfgcp serve -h).
+solve/market/precompute also accept -config FILE (sparse JSON configuration
+merged over the defaults; explicitly-set flags win). serve answers POST
+/v1/solve and POST /v1/policy/epoch with bounded workers, request coalescing,
+load shedding and graceful drain (see mfgcp serve -h); with -surrogate TABLE
+it answers in-region requests from the precomputed tier-0 table first.
 `)
 }

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseAxisSpec(t *testing.T) {
+	good := []struct {
+		in       string
+		min, max float64
+		n        int
+	}{
+		{"8:12:5", 8, 12, 5},
+		{"0.1:0.5:2", 0.1, 0.5, 2},
+		{"2", 2, 2, 1},
+		{"-1:1:3", -1, 1, 3},
+	}
+	for _, c := range good {
+		spec, err := parseAxisSpec("axis", c.in)
+		if err != nil {
+			t.Fatalf("parseAxisSpec(%q): %v", c.in, err)
+		}
+		if spec.Min != c.min || spec.Max != c.max || spec.N != c.n {
+			t.Errorf("parseAxisSpec(%q) = %+v, want {%g %g %d}", c.in, spec, c.min, c.max, c.n)
+		}
+	}
+	for _, in := range []string{"", "1:2", "1:2:3:4", "a:2:3", "1:b:3", "1:2:c"} {
+		if _, err := parseAxisSpec("axis", in); err == nil {
+			t.Errorf("parseAxisSpec(%q) should error", in)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// TestPrecomputeServeSolveEndToEnd is the CLI acceptance of the surrogate
+// pipeline: `mfgcp precompute` sweeps a tiny lattice into a table file,
+// `mfgcp solve -surrogate` answers an in-region workload from it and falls
+// back outside the trust region, and `mfgcp serve -surrogate` runs the table
+// as tier 0 — an in-region request returns "source":"surrogate" with an error
+// bound while an out-of-region request reaches the exact ladder.
+func TestPrecomputeServeSolveEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "serve.json")
+	if err := os.WriteFile(cfgPath, []byte(`{"Solver": {"NH": 5, "NQ": 15, "Steps": 16}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tabPath := filepath.Join(dir, "table.mfgt")
+
+	out, err := captureStdout(t, func() error {
+		return run([]string{"precompute", "-config", cfgPath, "-out", tabPath,
+			"-requests", "8:12:2", "-pop", "0.2:0.4:2", "-timeliness", "2", "-workers", "2"})
+	})
+	if err != nil {
+		t.Fatalf("precompute: %v", err)
+	}
+	if !strings.Contains(out, "1/1 cells in the trust region") {
+		t.Fatalf("precompute output missing trust-region summary: %q", out)
+	}
+	if info, err := os.Stat(tabPath); err != nil || info.Size() == 0 {
+		t.Fatalf("table file missing or empty: %v", err)
+	}
+
+	// In-region solve answers from the table (microseconds, no PDE sweep).
+	out, err = captureStdout(t, func() error {
+		return run([]string{"solve", "-config", cfgPath, "-surrogate", tabPath,
+			"-requests", "10", "-pop", "0.3", "-timeliness", "2"})
+	})
+	if err != nil {
+		t.Fatalf("solve -surrogate: %v", err)
+	}
+	if !strings.Contains(out, "surrogate: interpolated answer") {
+		t.Fatalf("in-region solve did not answer from the table: %q", out)
+	}
+
+	// Out-of-region falls back to the exact solver.
+	out, err = captureStdout(t, func() error {
+		return run([]string{"solve", "-config", cfgPath, "-surrogate", tabPath,
+			"-requests", "20", "-pop", "0.3", "-timeliness", "2"})
+	})
+	if err != nil {
+		t.Fatalf("solve -surrogate out-of-region: %v", err)
+	}
+	if !strings.Contains(out, "equilibrium:") {
+		t.Fatalf("out-of-region solve did not run the exact solver: %q", out)
+	}
+
+	// An impossibly tight -surrogate-max-bound shrinks the trust region to
+	// nothing, so even the in-region workload solves exactly.
+	out, err = captureStdout(t, func() error {
+		return run([]string{"solve", "-config", cfgPath, "-surrogate", tabPath,
+			"-surrogate-max-bound", "1e-12",
+			"-requests", "10", "-pop", "0.3", "-timeliness", "2"})
+	})
+	if err != nil {
+		t.Fatalf("solve -surrogate-max-bound: %v", err)
+	}
+	if strings.Contains(out, "surrogate: interpolated answer") {
+		t.Fatalf("tight max bound must bypass the table: %q", out)
+	}
+
+	// The daemon serves the table as tier 0.
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", addr, "-config", cfgPath,
+			"-surrogate", tabPath, "-drain-timeout", "30s"})
+	}()
+	base := "http://" + addr
+	waitReady(t, base)
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /v1/solve: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("decode %q: %v", data, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	status, m := post(`{"Workload": {"Requests": 10, "Pop": 0.3, "Timeliness": 2}}`)
+	if status != http.StatusOK {
+		t.Fatalf("in-region: status %d body %v", status, m)
+	}
+	if m["source"] != "surrogate" {
+		t.Fatalf("in-region source = %v, want surrogate", m["source"])
+	}
+	if b, ok := m["error_bound"].(float64); !ok || b <= 0 {
+		t.Fatalf("in-region error_bound = %v, want > 0", m["error_bound"])
+	}
+
+	status, m = post(`{"Workload": {"Requests": 20, "Pop": 0.3, "Timeliness": 2}}`)
+	if status != http.StatusOK {
+		t.Fatalf("out-of-region: status %d body %v", status, m)
+	}
+	if m["source"] == "surrogate" {
+		t.Fatal("out-of-region request must not answer from the table")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// TestServeSurrogateMissingTable pins the startup failure mode: a -surrogate
+// path that does not exist fails fast instead of serving without tier 0.
+func TestServeSurrogateMissingTable(t *testing.T) {
+	err := run([]string{"serve", "-addr", "127.0.0.1:0", "-surrogate",
+		filepath.Join(t.TempDir(), "nope.mfgt")})
+	if err == nil || !strings.Contains(err.Error(), "surrogate") {
+		t.Fatalf("missing table: got %v, want load error", err)
+	}
+}

@@ -41,6 +41,8 @@ func serveCmd(args []string) (retErr error) {
 	breakerOpen := fs.Duration("breaker-open", 5*time.Second, "how long an open breaker fails fast (503) before a half-open probe")
 	retryBudget := fs.Float64("retry-budget", 0.1, "retry-budget refill per fresh solve (X-Mfgcp-Retry requests draw from it; -1 disables)")
 	configPath := fs.String("config", "", "JSON defaults for Params/Solver (same shape as a /v1/solve body)")
+	surrogatePath := fs.String("surrogate", "", "precomputed surrogate table (see mfgcp precompute); in-region solves answer from it as tier 0")
+	surrogateMaxBound := fs.Float64("surrogate-max-bound", 0, "reject surrogate answers whose declared error bound exceeds this (0 = any in-region bound)")
 	kernelWorkers := fs.Int("kernel-workers", 0, "parallel PDE line-sweep workers per solve (0 or 1 is serial)")
 	precision := fs.String("precision", "", "PDE kernel precision: float64 (default) or float32 (fast path, implicit scheme only)")
 	of := addObsFlags(fs)
@@ -94,6 +96,12 @@ func serveCmd(args []string) (retErr error) {
 	if set["precision"] {
 		solver.Kernel.Precision = *precision
 	}
+	if set["surrogate"] {
+		solver.Surrogate.Path = *surrogatePath
+	}
+	if set["surrogate-max-bound"] {
+		solver.Surrogate.MaxErrorBound = *surrogateMaxBound
+	}
 	if solver, err = mfgcp.ApplySolveOptions(solver); err != nil {
 		return err
 	}
@@ -140,6 +148,9 @@ func serveCmd(args []string) (retErr error) {
 	}
 	fmt.Fprintf(os.Stderr, "mfgcp serve: listening on %s (workers=%d queue=%d cache=%d)\n",
 		*addr, nWorkers, *queue, *eqCache)
+	if solver.Surrogate.Path != "" {
+		fmt.Fprintf(os.Stderr, "mfgcp serve: tier-0 surrogate table %s\n", solver.Surrogate.Path)
+	}
 	if err := srv.Run(ctx); err != nil {
 		return err
 	}

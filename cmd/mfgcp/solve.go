@@ -14,6 +14,7 @@ import (
 	mfgcp "repro"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/surrogate"
 )
 
 // solveFile is the -config document of `mfgcp solve`: the same shape as the
@@ -50,6 +51,8 @@ func solveCmd(args []string) (retErr error) {
 	scheme := fs.String("scheme", "", "PDE time integrator: implicit (default) or explicit")
 	kernelWorkers := fs.Int("kernel-workers", 0, "parallel PDE line-sweep workers (0 or 1 is serial; results are identical at any count)")
 	precision := fs.String("precision", "", "PDE kernel precision: float64 (default) or float32 (fast path, implicit scheme only)")
+	surrogatePath := fs.String("surrogate", "", "precomputed surrogate table (see mfgcp precompute); in-region workloads answer by interpolation")
+	surrogateMaxBound := fs.Float64("surrogate-max-bound", 0, "reject surrogate answers whose declared error bound exceeds this (0 = any in-region bound)")
 	csvDir := fs.String("csv", "", "write strategy/density/price CSVs into this directory")
 	saveTo := fs.String("save", "", "write the solved equilibrium archive (gob) to this file")
 	of := addObsFlags(fs)
@@ -134,6 +137,16 @@ func solveCmd(args []string) (retErr error) {
 		}
 		opts = append(opts, mfgcp.WithKernel(kc.Workers, kc.Precision))
 	}
+	if set["surrogate"] || set["surrogate-max-bound"] {
+		sc := cfg.Surrogate
+		if set["surrogate"] {
+			sc.Path = *surrogatePath
+		}
+		if set["surrogate-max-bound"] {
+			sc.MaxErrorBound = *surrogateMaxBound
+		}
+		opts = append(opts, mfgcp.WithSurrogate(sc.Path, sc.MaxErrorBound))
+	}
 	cfg, err = mfgcp.ApplySolveOptions(cfg, opts...)
 	if err != nil {
 		return err
@@ -152,6 +165,23 @@ func solveCmd(args []string) (retErr error) {
 		}
 		if set["timeliness"] {
 			w.Timeliness = *timeliness
+		}
+	}
+
+	if cfg.Surrogate.Path != "" {
+		tab, err := surrogate.Load(cfg.Surrogate.Path)
+		if err != nil {
+			return err
+		}
+		if sum, ok := tab.Lookup(cfg, w); ok {
+			if *csvDir != "" || *saveTo != "" {
+				fmt.Fprintln(os.Stderr, "mfgcp: warning: -csv/-save need the full equilibrium; solving exactly despite the surrogate hit")
+			} else {
+				printSurrogateSummary(sum)
+				return tel.summary("solve")
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "mfgcp: workload outside the surrogate trust region; solving exactly")
 		}
 	}
 
@@ -196,6 +226,19 @@ func solveCmd(args []string) (retErr error) {
 		fmt.Printf("[equilibrium archive (%d bytes) written to %s]\n", n, *saveTo)
 	}
 	return tel.summary("solve")
+}
+
+// printSurrogateSummary renders an interpolated tier-0 answer in the same
+// shape as the exact solve's summary, with the declared error bound up front.
+func printSurrogateSummary(sum *surrogate.Summary) {
+	fmt.Printf("surrogate: interpolated answer, error bound %.3g (converged=%v, ≤%d iterations at the cell corners)\n",
+		sum.ErrorBound, sum.Converged, sum.Iterations)
+	n := len(sum.Time)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		i := int(frac*float64(n-1) + 0.5)
+		fmt.Printf("  t=%.2f  price=%.3f  E[x*]=%.3f  q̄=%.1fMB\n",
+			sum.Time[i], sum.Price[i], sum.MeanControl[i], sum.MeanRemaining[i])
+	}
 }
 
 func writeSolveCSVs(eq *mfgcp.Equilibrium, params mfgcp.Params, dir string) error {

@@ -40,6 +40,10 @@ const (
 	PrecisionFloat32 = pde.PrecisionFloat32
 )
 
+// SurrogateConfig points a solve at a precomputed surrogate table and bounds
+// the interpolation error it will accept. See engine.SurrogateConfig.
+type SurrogateConfig = engine.SurrogateConfig
+
 // Equilibrium is the solved mean-field equilibrium for one content over one
 // optimisation epoch. See engine.Equilibrium.
 type Equilibrium = engine.Equilibrium

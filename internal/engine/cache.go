@@ -71,7 +71,9 @@ func CacheKey(cfg Config, w Workload) string {
 	// Kernel precision changes the computed solution and must separate keys;
 	// "" and "float64" are the same bit-exact default path and keep the
 	// historical encoding (no field emitted). Workers are deliberately
-	// excluded: the line-sweep partition is invisible in the results.
+	// excluded: the line-sweep partition is invisible in the results. The
+	// Surrogate routing config is likewise excluded — it decides which tier
+	// answers, never what the equilibrium is.
 	if cfg.Kernel.Precision != "" && cfg.Kernel.Precision != pde.PrecisionFloat64 {
 		fmt.Fprintf(&b, "Prec=%s;", cfg.Kernel.Precision)
 	}

@@ -128,12 +128,42 @@ type Config struct {
 	// the previous epoch's fixed point).
 	WarmStart *Equilibrium
 
+	// Surrogate points solves at a precomputed interpolation table (written
+	// by `mfgcp precompute`): serving layers consult the table before the
+	// engine and fall through to a real solve when the request is outside
+	// the table's trust region. The engine itself ignores the field — a
+	// Session always computes the true equilibrium — so it is excluded from
+	// CacheKey: routing configuration must not fragment the equilibrium
+	// cache.
+	Surrogate SurrogateConfig
+
 	// Obs receives solver telemetry — per-iteration residual events, HJB and
 	// FPK pass spans, convergence counters ("core.solver.*" names) and the
 	// engine-layer session/cache counters ("engine.*" names). Nil means
 	// no-op: library users and tests opt in explicitly, and the hot loops pay
 	// nothing by default. The field is dropped from serialised archives.
 	Obs obs.Recorder
+}
+
+// SurrogateConfig routes solves at a precomputed equilibrium table. The zero
+// value disables the surrogate tier entirely.
+type SurrogateConfig struct {
+	// Path of the table file written by `mfgcp precompute`. Empty disables
+	// surrogate answers.
+	Path string
+	// MaxErrorBound, when positive, tightens the trust region: a table cell
+	// whose declared interpolation error bound exceeds it falls through to a
+	// real solve even though the request lies inside the lattice. Zero
+	// accepts every finite declared bound.
+	MaxErrorBound float64
+}
+
+// Validate checks the surrogate routing configuration.
+func (s SurrogateConfig) Validate() error {
+	if math.IsNaN(s.MaxErrorBound) || math.IsInf(s.MaxErrorBound, 0) || s.MaxErrorBound < 0 {
+		return fmt.Errorf("core: surrogate MaxErrorBound must be non-negative and finite, got %g", s.MaxErrorBound)
+	}
+	return nil
 }
 
 // DefaultConfig returns the solver configuration used by the experiments.
@@ -187,7 +217,7 @@ func (c Config) Validate() error {
 	if c.Kernel.Precision == pde.PrecisionFloat32 && sch.Stepping() != pde.Implicit {
 		return errors.New("core: the float32 kernel supports the implicit scheme only")
 	}
-	return nil
+	return c.Surrogate.Validate()
 }
 
 // scheme resolves the configured time integrator: Scheme by name when set,

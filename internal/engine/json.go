@@ -35,6 +35,7 @@ type configJSON struct {
 	Stepping       int
 	Scheme         string
 	Kernel         pde.KernelConfig
+	Surrogate      SurrogateConfig
 	ShareEnabled   bool
 	InitLambda     []float64 `json:",omitempty"`
 }
@@ -53,6 +54,7 @@ func (c Config) toJSON() configJSON {
 		Stepping:       int(c.Stepping),
 		Scheme:         c.Scheme,
 		Kernel:         c.Kernel,
+		Surrogate:      c.Surrogate,
 		ShareEnabled:   c.ShareEnabled,
 		InitLambda:     c.InitLambda,
 	}
@@ -69,6 +71,7 @@ func (j configJSON) apply(c *Config) {
 	c.Stepping = pde.Stepping(j.Stepping)
 	c.Scheme = j.Scheme
 	c.Kernel = j.Kernel
+	c.Surrogate = j.Surrogate
 	c.ShareEnabled = j.ShareEnabled
 	c.InitLambda = j.InitLambda
 }

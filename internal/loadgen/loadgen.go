@@ -333,6 +333,7 @@ func validateSolveBody(data []byte) error {
 		Converged *bool     `json:"converged"`
 		Time      []float64 `json:"time"`
 		Price     []float64 `json:"price"`
+		Source    string    `json:"source"`
 	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	if err := dec.Decode(&body); err != nil {
@@ -343,6 +344,13 @@ func validateSolveBody(data []byte) error {
 	}
 	if len(body.Time) != len(body.Price) {
 		return fmt.Errorf("loadgen: solve body with %d time samples and %d prices", len(body.Time), len(body.Price))
+	}
+	switch body.Source {
+	case "surrogate", "cache", "store", "coalesced", "solve":
+	case "":
+		// Tolerated for one release: a pre-source daemon under test.
+	default:
+		return fmt.Errorf("loadgen: solve body with unknown source %q", body.Source)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -239,11 +240,19 @@ func TestValidateCorrupt200s(t *testing.T) {
 
 	// Shape violations count too, not just broken JSON.
 	for _, bad := range []string{
-		`{"time": [0], "price": [1]}`,                        // missing converged
-		`{"converged": false, "time": [0, 1], "price": [1]}`, // length mismatch
+		`{"time": [0], "price": [1]}`,                                         // missing converged
+		`{"converged": false, "time": [0, 1], "price": [1]}`,                  // length mismatch
+		`{"converged": true, "time": [0], "price": [1], "source": "psychic"}`, // unknown provenance
 	} {
 		if validateSolveBody([]byte(bad)) == nil {
 			t.Errorf("validateSolveBody accepted %s", bad)
+		}
+	}
+	// Every real ladder source passes, as does a pre-source daemon body.
+	for _, src := range []string{"surrogate", "cache", "store", "coalesced", "solve", ""} {
+		ok := fmt.Sprintf(`{"converged": true, "time": [0], "price": [1], "source": %q}`, src)
+		if err := validateSolveBody([]byte(ok)); err != nil {
+			t.Errorf("validateSolveBody rejected source %q: %v", src, err)
 		}
 	}
 }
@@ -256,10 +265,12 @@ func TestScrapeServerCounters(t *testing.T) {
 		// Scrape 1: the daemon has history already — deltas must subtract it.
 		"# TYPE serve_solve_requests_total counter\nserve_solve_requests_total 100\n" +
 			"engine_cache_hit_total 40\nstore_hit_total 10\nserve_solve_executed_total 50\n" +
+			"serve_surrogate_hit_total 5\n" +
 			"store_corrupt_total_total 1\nbreaker_open_total 2\nserve_breaker_rejected_total 5\n",
 		// Scrape 2, after the window.
 		"serve_solve_requests_total 200\nengine_cache_hit_total 110\nstore_hit_total 20\n" +
-			"serve_solve_executed_total 70\nstore_corrupt_total_total 1\nbreaker_open_total 3\n" +
+			"serve_solve_executed_total 70\nserve_surrogate_hit_total 30\n" +
+			"store_corrupt_total_total 1\nbreaker_open_total 3\n" +
 			"serve_breaker_rejected_total 5\n",
 	}
 	var scrapes atomic.Int64
@@ -290,8 +301,9 @@ func TestScrapeServerCounters(t *testing.T) {
 		t.Fatal("ScrapeMetrics produced no server counters")
 	}
 	want := ServerCounters{
-		CacheHits: 70, StoreHits: 10, SolveRequests: 100, SolvesExecuted: 20,
-		StoreCorrupt: 0, BreakerOpens: 1, BreakerRejected: 0, WarmHitRate: 0.8,
+		SurrogateHits: 25, CacheHits: 70, StoreHits: 10, SolveRequests: 100, SolvesExecuted: 20,
+		StoreCorrupt: 0, BreakerOpens: 1, BreakerRejected: 0,
+		SurrogateHitRate: 0.25, WarmHitRate: 0.8,
 	}
 	if *sc != want {
 		t.Errorf("server counters = %+v, want %+v", *sc, want)
@@ -303,7 +315,7 @@ func TestScrapeServerCounters(t *testing.T) {
 	if !ok {
 		t.Fatalf("report JSON server section is %T", doc["server"])
 	}
-	for _, key := range []string{"cache_hits", "store_hits", "warm_hit_rate", "breaker_opens", "store_corrupt"} {
+	for _, key := range []string{"surrogate_hits", "surrogate_hit_rate", "cache_hits", "store_hits", "warm_hit_rate", "breaker_opens", "store_corrupt"} {
 		if _, ok := srvDoc[key]; !ok {
 			t.Errorf("server counters JSON missing %q", key)
 		}

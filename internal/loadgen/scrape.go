@@ -14,12 +14,17 @@ import (
 // ladder ran, whether the disk tier served (and whether it shed corruption),
 // and whether the circuit breaker tripped under the offered load.
 type ServerCounters struct {
+	// SurrogateHits are answers served by the tier-0 interpolation table;
 	// CacheHits and StoreHits are answers served by the in-memory LRU and the
-	// persistent tier; SolveRequests and SolvesExecuted bound them.
+	// persistent tier; SolveRequests and SolvesExecuted bound them all.
+	SurrogateHits  float64 `json:"surrogate_hits"`
 	CacheHits      float64 `json:"cache_hits"`
 	StoreHits      float64 `json:"store_hits"`
 	SolveRequests  float64 `json:"solve_requests"`
 	SolvesExecuted float64 `json:"solves_executed"`
+	// SurrogateHitRate is SurrogateHits/SolveRequests — how much of the window
+	// the precomputed table absorbed before the exact ladder.
+	SurrogateHitRate float64 `json:"surrogate_hit_rate"`
 	// WarmHitRate is (CacheHits+StoreHits)/SolveRequests — the kill-and-restart
 	// chaos gate asserts it stays positive after a daemon restart.
 	WarmHitRate float64 `json:"warm_hit_rate"`
@@ -81,6 +86,7 @@ func counterDeltas(before, after map[string]float64) *ServerCounters {
 		return v
 	}
 	sc := &ServerCounters{
+		SurrogateHits:   d("serve_surrogate_hit_total"),
 		CacheHits:       d("engine_cache_hit_total"),
 		StoreHits:       d("store_hit_total"),
 		SolveRequests:   d("serve_solve_requests_total"),
@@ -90,6 +96,7 @@ func counterDeltas(before, after map[string]float64) *ServerCounters {
 		BreakerRejected: d("serve_breaker_rejected_total"),
 	}
 	if sc.SolveRequests > 0 {
+		sc.SurrogateHitRate = sc.SurrogateHits / sc.SolveRequests
 		sc.WarmHitRate = (sc.CacheHits + sc.StoreHits) / sc.SolveRequests
 	}
 	return sc

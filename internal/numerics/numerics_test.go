@@ -444,3 +444,70 @@ func TestL1Distance(t *testing.T) {
 		t.Error("length mismatch should error")
 	}
 }
+
+func TestInterpMultilinearExactOnTrilinear(t *testing.T) {
+	// A trilinear function is reproduced exactly by multilinear interpolation,
+	// including on non-uniform axes and at clamped out-of-range points.
+	f := func(a, b, c float64) float64 { return 2 + 3*a - b + 0.5*c + a*b - 2*b*c + a*b*c }
+	axes := [][]float64{{0, 1, 3}, {-1, 0.5, 2, 4}, {10, 20}}
+	vals := make([]float64, 3*4*2)
+	for i, a := range axes[0] {
+		for j, b := range axes[1] {
+			for k, c := range axes[2] {
+				vals[(i*4+j)*2+k] = f(a, b, c)
+			}
+		}
+	}
+	cases := []struct {
+		x    []float64
+		want float64
+	}{
+		{[]float64{0.7, 1.1, 14}, f(0.7, 1.1, 14)},
+		{[]float64{3, 4, 20}, f(3, 4, 20)},      // corner node
+		{[]float64{-5, 0.5, 12}, f(0, 0.5, 12)}, // clamped below
+		{[]float64{1, 9, 25}, f(1, 4, 20)},      // clamped above
+	}
+	for _, c := range cases {
+		got, err := InterpMultilinear(axes, vals, c.x)
+		if err != nil {
+			t.Fatalf("InterpMultilinear(%v): %v", c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Errorf("InterpMultilinear(%v) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInterpMultilinearDegenerateAxis(t *testing.T) {
+	// A single-node axis freezes its dimension: the interpolant reduces to
+	// the lower-dimensional one and the frozen coordinate is ignored.
+	axes := [][]float64{{0, 2}, {5}, {1, 3}}
+	vals := []float64{0, 1, 2, 3} // v(i,0,k) = 2i + k over unit offsets
+	got, err := InterpMultilinear(axes, vals, []float64{1, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("degenerate-axis interpolation = %g, want %g", got, want)
+	}
+	// The frozen coordinate may differ from the node value — the table layer
+	// decides whether that is acceptable, not the interpolant.
+	if got2, err := InterpMultilinear(axes, vals, []float64{1, 99, 2}); err != nil || got2 != got {
+		t.Errorf("frozen coordinate changed the interpolant: %g vs %g (err %v)", got2, got, err)
+	}
+}
+
+func TestInterpMultilinearShapeErrors(t *testing.T) {
+	if _, err := InterpMultilinear([][]float64{{0, 1}}, []float64{1}, []float64{0.5}); err == nil {
+		t.Error("value/node count mismatch should error")
+	}
+	if _, err := InterpMultilinear([][]float64{{0, 1}}, []float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("axis/coordinate count mismatch should error")
+	}
+	if _, err := InterpMultilinear([][]float64{{}}, nil, []float64{0}); err == nil {
+		t.Error("empty axis should error")
+	}
+	if _, _, err := LocateNodes(nil, 1); err == nil {
+		t.Error("LocateNodes on empty nodes should error")
+	}
+}

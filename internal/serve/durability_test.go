@@ -47,8 +47,8 @@ func startDaemon(t *testing.T, cfg Config) (base string, drain func()) {
 
 // TestStoreTierWarmRestart is the durability contract end to end: a daemon
 // solves, drains, and a fresh daemon over the same cache directory answers
-// the same request from the disk tier — byte-identical body, no engine solve,
-// X-Mfgcp-Cache: store — then promotes it so the next repeat is a memory hit.
+// the same request from the disk tier — identical equilibrium, no engine
+// solve, source "store" — then promotes it so the next repeat is a memory hit.
 func TestStoreTierWarmRestart(t *testing.T) {
 	dir := t.TempDir()
 	body := `{"Workload": {"Requests": 11, "Pop": 0.35, "Timeliness": 3}}`
@@ -75,8 +75,15 @@ func TestStoreTierWarmRestart(t *testing.T) {
 	if got := resp2.Header.Get("X-Mfgcp-Cache"); got != "store" {
 		t.Errorf("restarted daemon X-Mfgcp-Cache = %q, want store", got)
 	}
-	if !bytes.Equal(coldBody, warmBody) {
-		t.Errorf("restart changed the response:\n%s\nvs\n%s", coldBody, warmBody)
+	var warm SolveResponse
+	if err := json.Unmarshal(warmBody, &warm); err != nil {
+		t.Fatalf("decode warm body: %v", err)
+	}
+	if warm.Source != SourceStore {
+		t.Errorf("restarted daemon source = %q, want %q", warm.Source, SourceStore)
+	}
+	if !bytes.Equal(bodyWithoutSource(t, coldBody), bodyWithoutSource(t, warmBody)) {
+		t.Errorf("restart changed the equilibrium:\n%s\nvs\n%s", coldBody, warmBody)
 	}
 	snap := reg2.Snapshot()
 	if got := snap.Counters["serve.solve.executed"]; got != 0 {
@@ -91,8 +98,8 @@ func TestStoreTierWarmRestart(t *testing.T) {
 	if got := resp3.Header.Get("X-Mfgcp-Cache"); got != "hit" {
 		t.Errorf("promoted repeat X-Mfgcp-Cache = %q, want hit", got)
 	}
-	if !bytes.Equal(coldBody, hotBody) {
-		t.Errorf("promoted repeat body differs")
+	if !bytes.Equal(bodyWithoutSource(t, coldBody), bodyWithoutSource(t, hotBody)) {
+		t.Errorf("promoted repeat equilibrium differs")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mec"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/surrogate"
 )
 
 // maxPathSamples bounds the number of time samples in a solve response: the
@@ -36,7 +37,8 @@ type SolveRequest struct {
 
 // SolveResponse summarises one mean-field equilibrium: the dynamic price path
 // p(t) (Eq. 17), the population-mean caching control and mean remaining cache
-// space, and the convergence diagnostics of the best-response iteration.
+// space, the convergence diagnostics of the best-response iteration, and the
+// provenance of the answer.
 type SolveResponse struct {
 	Converged  bool    `json:"converged"`
 	Iterations int     `json:"iterations"`
@@ -47,6 +49,17 @@ type SolveResponse struct {
 	MeanControl   []float64 `json:"mean_control"`
 	MeanRemaining []float64 `json:"mean_remaining"`
 	SharerFrac    []float64 `json:"sharer_frac"`
+
+	// Source names the serving-ladder rung that produced this answer:
+	// "surrogate", "cache", "store", "coalesced" or "solve". It replaces the
+	// deprecated X-Mfgcp-Cache header (still emitted, derived from this
+	// field, for one release).
+	Source Source `json:"source"`
+	// ErrorBound is the declared interpolation-error bound of a surrogate
+	// answer (the verify-differential metric: sup over time of price/p̂, mean
+	// control and q̄/Qk deviations against an exact solve). Exact answers
+	// omit it.
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
 // EpochRequest is the wire form of POST /v1/policy/epoch: a batch of
@@ -125,11 +138,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"ready"}`)
 }
 
-// handleSolve answers one equilibrium query. Identical concurrent requests
-// coalesce onto one engine solve and receive byte-identical bodies; the
-// per-request variance (cache hit, coalesced, solver wall time) travels in
-// the X-Mfgcp-* response headers so coalescing stays observable without
-// breaking body determinism.
+// handleSolve answers one equilibrium query. The response body carries its
+// own provenance (Source, plus ErrorBound for surrogate answers); the
+// equilibrium series of identical requests are identical regardless of which
+// ladder rung answered, so clients may treat Source as advisory. The
+// deprecated X-Mfgcp-Cache header is still emitted, derived from Source.
+//
+// The surrogate table, when loaded, is consulted first: an in-trust-region
+// request is answered by interpolation in microseconds and never touches the
+// cache/store/solver ladder.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
@@ -149,6 +166,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.rec.Add("serve.solve.requests", 1)
+	if s.surrogate != nil {
+		lookupStart := time.Now()
+		sum, ok := s.surrogate.Lookup(cfg, wl)
+		lookup := time.Since(lookupStart)
+		s.rec.Observe("serve.surrogate.lookup.seconds", lookup.Seconds())
+		obs.ReqTraceFrom(r.Context()).Observe("surrogate_lookup", lookup)
+		if ok {
+			s.rec.Add("serve.surrogate.hit", 1)
+			writeSolveHeaders(w, SourceSurrogate, false, lookup)
+			writeJSON(w, http.StatusOK, surrogateResponse(sum))
+			return
+		}
+		s.rec.Add("serve.surrogate.miss", 1)
+	}
+
 	timeout := s.clampTimeout(req.TimeoutMs)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout+time.Second)
 	defer cancel()
@@ -159,10 +192,35 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	w.Header().Set("X-Mfgcp-Cache", cacheTier(out))
-	w.Header().Set("X-Mfgcp-Coalesced", strconv.FormatBool(out.Coalesced))
-	w.Header().Set("X-Mfgcp-Solve-Ms", strconv.FormatFloat(out.SolveTime.Seconds()*1e3, 'f', 3, 64))
-	writeJSON(w, http.StatusOK, summarize(eq))
+	src := out.source()
+	writeSolveHeaders(w, src, out.Coalesced, out.SolveTime)
+	resp := summarize(eq)
+	resp.Source = src
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSolveHeaders emits the per-request provenance headers, including the
+// deprecated X-Mfgcp-Cache value derived from the body-level Source.
+func writeSolveHeaders(w http.ResponseWriter, src Source, coalesced bool, solveTime time.Duration) {
+	w.Header().Set("X-Mfgcp-Cache", src.LegacyCacheHeader())
+	w.Header().Set("X-Mfgcp-Coalesced", strconv.FormatBool(coalesced))
+	w.Header().Set("X-Mfgcp-Solve-Ms", strconv.FormatFloat(solveTime.Seconds()*1e3, 'f', 3, 64))
+}
+
+// surrogateResponse shapes one interpolated table answer as a solve response.
+func surrogateResponse(sum *surrogate.Summary) SolveResponse {
+	return SolveResponse{
+		Converged:     sum.Converged,
+		Iterations:    sum.Iterations,
+		Residual:      sum.Residual,
+		Time:          sum.Time,
+		Price:         sum.Price,
+		MeanControl:   sum.MeanControl,
+		MeanRemaining: sum.MeanRemaining,
+		SharerFrac:    sum.SharerFrac,
+		Source:        SourceSurrogate,
+		ErrorBound:    sum.ErrorBound,
+	}
 }
 
 // handleEpoch prepares one epoch of per-content strategies through
@@ -413,16 +471,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(buf.Bytes())
-}
-
-// cacheTier names which rung of the ladder answered: "hit" (in-memory LRU),
-// "store" (persistent disk tier, promoted on the way out) or "miss".
-func cacheTier(out solveOutcome) string {
-	switch {
-	case out.CacheHit:
-		return "hit"
-	case out.StoreHit:
-		return "store"
-	}
-	return "miss"
 }

@@ -20,6 +20,12 @@
 //     drain: SIGTERM stops accepting work, finishes the in-flight requests
 //     and exits cleanly.
 //
+// The surrogate tier (Solver.Surrogate.Path / SurrogateTable) sits above the
+// ladder as tier 0: an in-trust-region request is answered in microseconds by
+// multilinear interpolation in a precomputed equilibrium table (source
+// "surrogate", with the cell's measured error bound attached); everything
+// else falls through to the exact ladder below.
+//
 // The durable tier (CacheDir) extends the ladder below the LRU: an LRU miss
 // consults the append-only segment store (internal/store), promotes a hit
 // back into the LRU, and every converged solve is persisted write-behind, so
@@ -46,6 +52,7 @@ import (
 	"repro/internal/mec"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/surrogate"
 )
 
 // ErrOverloaded is returned (and mapped to HTTP 429) when the solver queue is
@@ -117,6 +124,11 @@ type Config struct {
 	// balance (default 20).
 	RetryBudgetRatio float64
 	RetryBudgetBurst float64
+	// SurrogateTable, when set, is a preloaded tier-0 interpolation table
+	// (tests inject one directly). When nil, Solver.Surrogate.Path — if
+	// non-empty — names a table file loaded at startup. Both unset disables
+	// the surrogate tier.
+	SurrogateTable *surrogate.Table
 }
 
 // withDefaults fills the zero fields.
@@ -160,12 +172,13 @@ func (c Config) withDefaults() Config {
 // Server is the daemon state: the shared equilibrium cache, the bounded
 // worker pool and the singleflight table of in-flight solves.
 type Server struct {
-	cfg     Config
-	rec     obs.Recorder
-	cache   *engine.Cache
-	store   *store.Store // nil when CacheDir is unset
-	breaker *breaker
-	retries *retryBudget
+	cfg       Config
+	rec       obs.Recorder
+	cache     *engine.Cache
+	store     *store.Store     // nil when CacheDir is unset
+	surrogate *surrogate.Table // nil when the tier-0 table is disabled
+	breaker   *breaker
+	retries   *retryBudget
 
 	jobs     chan *flight
 	mu       sync.Mutex
@@ -213,6 +226,15 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: open cache dir: %w", err)
 		}
 	}
+	tab := cfg.SurrogateTable
+	if tab == nil && cfg.Solver.Surrogate.Path != "" {
+		if tab, err = surrogate.Load(cfg.Solver.Surrogate.Path); err != nil {
+			if disk != nil {
+				_ = disk.Close()
+			}
+			return nil, fmt.Errorf("serve: load surrogate table: %w", err)
+		}
+	}
 	epochSlots := cfg.Workers / 2
 	if epochSlots < 1 {
 		epochSlots = 1
@@ -223,6 +245,7 @@ func New(cfg Config) (*Server, error) {
 		rec:        obs.OrNop(cfg.Obs),
 		cache:      cache,
 		store:      disk,
+		surrogate:  tab,
 		breaker:    newBreaker(cfg.Breaker, cfg.Obs),
 		retries:    newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 		jobs:       make(chan *flight, cfg.QueueDepth),
@@ -341,13 +364,14 @@ type flight struct {
 }
 
 // solveOutcome annotates a solve result with how it was obtained; the
-// handlers surface it through response headers so identical requests keep
-// byte-identical bodies.
+// handlers surface it as the response's Source field (and the deprecated
+// X-Mfgcp-Cache header derived from it).
 type solveOutcome struct {
-	CacheHit  bool
-	StoreHit  bool
-	Coalesced bool
-	SolveTime time.Duration
+	SurrogateHit bool
+	CacheHit     bool
+	StoreHit     bool
+	Coalesced    bool
+	SolveTime    time.Duration
 }
 
 // solve answers one equilibrium query through the cache → store →
@@ -357,7 +381,6 @@ type solveOutcome struct {
 // marks a client-declared retry, which must pass the retry budget before it
 // may start a fresh solve (cache, store and coalesced answers stay free).
 func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload, timeout time.Duration, isRetry bool) (*engine.Equilibrium, solveOutcome, error) {
-	s.rec.Add("serve.solve.requests", 1)
 	tr := obs.ReqTraceFrom(ctx)
 	key := engine.CacheKey(cfg, w)
 	lookupStart := time.Now()

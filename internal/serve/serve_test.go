@@ -21,7 +21,7 @@ import (
 
 // testConfig returns a server configuration on a deliberately small grid so
 // one solve costs milliseconds, with a registry to assert metrics against.
-func testConfig(t *testing.T) (Config, *obs.Registry) {
+func testConfig(t testing.TB) (Config, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry(nil)
 	p := mec.Default()
@@ -54,10 +54,29 @@ func postSolve(t *testing.T, client *http.Client, url, body string) (*http.Respo
 	return resp, data
 }
 
+// bodyWithoutSource re-encodes a solve body with its provenance removed: the
+// equilibrium series must be identical across ladder rungs even though the
+// source field names whichever rung answered. json.Marshal of a map emits
+// keys sorted, so two stripped bodies of the same equilibrium compare equal.
+func bodyWithoutSource(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decode solve body %q: %v", data, err)
+	}
+	delete(m, "source")
+	delete(m, "error_bound")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // TestSolveCoalescing is the tentpole acceptance check: 64 concurrent
 // identical solve requests must produce exactly one engine solve (the rest
-// coalesce onto the in-flight computation or hit the cache) and byte-identical
-// response bodies.
+// coalesce onto the in-flight computation or hit the cache) and identical
+// equilibrium bodies, differing only in their source field.
 func TestSolveCoalescing(t *testing.T) {
 	cfg, reg := testConfig(t)
 	s, err := New(cfg)
@@ -94,8 +113,8 @@ func TestSolveCoalescing(t *testing.T) {
 		if statuses[i] != http.StatusOK {
 			t.Fatalf("request %d: status %d body %s", i, statuses[i], bodies[i])
 		}
-		if !bytes.Equal(bodies[i], bodies[0]) {
-			t.Fatalf("request %d: body differs from request 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		if !bytes.Equal(bodyWithoutSource(t, bodies[i]), bodyWithoutSource(t, bodies[0])) {
+			t.Fatalf("request %d: equilibrium differs from request 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
 		}
 	}
 	var resp SolveResponse
@@ -104,6 +123,24 @@ func TestSolveCoalescing(t *testing.T) {
 	}
 	if !resp.Converged || len(resp.Price) == 0 || len(resp.Time) != len(resp.Price) {
 		t.Errorf("implausible equilibrium summary: %+v", resp)
+	}
+	// Every response names a real ladder rung, and exactly the expected mix
+	// appears: one fresh solve, the rest coalesced joins or cache hits.
+	perSource := map[Source]int{}
+	for i := 0; i < n; i++ {
+		var r SolveResponse
+		if err := json.Unmarshal(bodies[i], &r); err != nil {
+			t.Fatalf("decode response %d: %v", i, err)
+		}
+		switch r.Source {
+		case SourceSolve, SourceCoalesced, SourceCache:
+			perSource[r.Source]++
+		default:
+			t.Fatalf("request %d: unexpected source %q", i, r.Source)
+		}
+	}
+	if perSource[SourceSolve] != 1 {
+		t.Errorf("sources %v: want exactly 1 %q", perSource, SourceSolve)
 	}
 
 	snap := reg.Snapshot()
@@ -123,8 +160,15 @@ func TestSolveCoalescing(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("warm repeat: status %d", resp2.StatusCode)
 	}
-	if !bytes.Equal(data2, bodies[0]) {
-		t.Errorf("warm repeat body differs")
+	if !bytes.Equal(bodyWithoutSource(t, data2), bodyWithoutSource(t, bodies[0])) {
+		t.Errorf("warm repeat equilibrium differs")
+	}
+	var warm SolveResponse
+	if err := json.Unmarshal(data2, &warm); err != nil {
+		t.Fatalf("decode warm repeat: %v", err)
+	}
+	if warm.Source != SourceCache {
+		t.Errorf("warm repeat source = %q, want %q", warm.Source, SourceCache)
 	}
 	if got := resp2.Header.Get("X-Mfgcp-Cache"); got != "hit" {
 		t.Errorf("warm repeat X-Mfgcp-Cache = %q, want hit", got)

@@ -1,0 +1,55 @@
+package serve
+
+// Source identifies which rung of the serving ladder produced a solve
+// response. It travels in the response body (SolveResponse.Source), replacing
+// the ad-hoc X-Mfgcp-Cache header as the canonical provenance signal; the
+// header is still emitted for one release, derived from this enum, so
+// existing scrapers keep working while they migrate.
+type Source string
+
+const (
+	// SourceSurrogate: answered by the tier-0 precomputed interpolation
+	// table, with the cell's declared error bound attached.
+	SourceSurrogate Source = "surrogate"
+	// SourceCache: answered by the in-memory LRU of solved equilibria.
+	SourceCache Source = "cache"
+	// SourceStore: answered by the persistent disk tier (and promoted into
+	// the LRU on the way out).
+	SourceStore Source = "store"
+	// SourceCoalesced: this request joined another request's in-flight solve
+	// and shares its freshly computed equilibrium.
+	SourceCoalesced Source = "coalesced"
+	// SourceSolve: a fresh engine solve ran for this request.
+	SourceSolve Source = "solve"
+)
+
+// LegacyCacheHeader renders the deprecated X-Mfgcp-Cache value for this
+// source. The header predates the surrogate tier and never distinguished a
+// coalesced join from the solve it joined, so both map to "miss" — exactly
+// what the header reported before the body-level enum existed.
+func (s Source) LegacyCacheHeader() string {
+	switch s {
+	case SourceSurrogate:
+		return "surrogate"
+	case SourceCache:
+		return "hit"
+	case SourceStore:
+		return "store"
+	}
+	return "miss"
+}
+
+// source names the ladder rung that produced this outcome.
+func (out solveOutcome) source() Source {
+	switch {
+	case out.SurrogateHit:
+		return SourceSurrogate
+	case out.CacheHit:
+		return SourceCache
+	case out.StoreHit:
+		return SourceStore
+	case out.Coalesced:
+		return SourceCoalesced
+	}
+	return SourceSolve
+}

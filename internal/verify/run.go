@@ -147,6 +147,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		{name: "differential/cache-bit-equality", fn: func() ([]Violation, error) {
 			return CacheBitEquality(opts.Solver, opts.Workload)
 		}},
+		{name: "differential/surrogate", fn: func() ([]Violation, error) {
+			return SurrogateAgreement(opts.Solver, opts.Workload, opts.Seed)
+		}},
 		{name: "differential/checkpoint-resume", fn: func() ([]Violation, error) {
 			dir, cleanup, err := scratchDir()
 			if err != nil {

@@ -27,6 +27,7 @@ func TestRunQuickTierPasses(t *testing.T) {
 		"differential/scheme-agreement",
 		"differential/precision",
 		"differential/cache-bit-equality",
+		"differential/surrogate",
 		"differential/checkpoint-resume",
 		"order/fpk-implicit",
 	}

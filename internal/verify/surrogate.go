@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/engine"
+	"repro/internal/surrogate"
+)
+
+// SurrogateAgreement is the tier-0 differential: it precomputes a small real
+// lattice around the verification workload, then holds interpolated answers
+// at seeded off-lattice probe points against cold engine solves of the same
+// workloads. The measured deviation — in the table's own error metric, the
+// same sup-over-time observable distances CompareObservables uses — must
+// respect the per-cell bound the table declares, or the surrogate tier is
+// promising accuracy it does not deliver.
+func SurrogateAgreement(cfg engine.Config, w engine.Workload, seed int64) ([]Violation, error) {
+	tab, err := buildSurrogateTable(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	return surrogateViolations(tab, cfg, seed, 3)
+}
+
+// buildSurrogateTable sweeps a 2×2 lattice over (Requests, Pop) straddling
+// the workload, with Timeliness frozen — 4 node solves plus 1 held-out
+// midpoint, cheap enough for the quick tier.
+func buildSurrogateTable(cfg engine.Config, w engine.Workload) (*surrogate.Table, error) {
+	reqLo := w.Requests - 2
+	if reqLo < 1 {
+		reqLo = 1
+	}
+	popLo, popHi := w.Pop-0.15, w.Pop+0.15
+	if popLo < 0.05 {
+		popLo = 0.05
+	}
+	if popHi > 0.95 {
+		popHi = 0.95
+	}
+	return surrogate.Build(context.Background(), surrogate.BuildConfig{
+		Config:     cfg,
+		Requests:   surrogate.AxisSpec{Min: reqLo, Max: w.Requests + 2, N: 2},
+		Pop:        surrogate.AxisSpec{Min: popLo, Max: popHi, N: 2},
+		Timeliness: surrogate.AxisSpec{Min: w.Timeliness, N: 1},
+		Workers:    2,
+	})
+}
+
+// surrogateViolations probes seeded off-lattice points strictly inside the
+// table's cell. It is split from SurrogateAgreement so the oracle mutation
+// test can seed a violation (by shrinking the declared bounds) and prove the
+// check fires.
+func surrogateViolations(tab *surrogate.Table, cfg engine.Config, seed int64, points int) ([]Violation, error) {
+	// The declared bound itself is under test; a request-level MaxErrorBound
+	// would hide loose cells by falling through instead of failing.
+	cfg.Surrogate = engine.SurrogateConfig{}
+	rng := rand.New(rand.NewPCG(uint64(seed), 0x5347))
+	lerp := func(nodes []float64) float64 {
+		if len(nodes) == 1 {
+			return nodes[0]
+		}
+		f := 0.1 + 0.8*rng.Float64()
+		return nodes[0] + f*(nodes[len(nodes)-1]-nodes[0])
+	}
+	var out []Violation
+	for i := 0; i < points; i++ {
+		w := engine.Workload{
+			Requests:   lerp(tab.Axes[0].Nodes),
+			Pop:        lerp(tab.Axes[1].Nodes),
+			Timeliness: lerp(tab.Axes[2].Nodes),
+		}
+		sum, ok := tab.Lookup(cfg, w)
+		if !ok {
+			return nil, fmt.Errorf("verify: probe %d (%+v) fell outside the surrogate trust region", i, w)
+		}
+		eq, err := solveFor(cfg, w)
+		if err != nil {
+			return nil, fmt.Errorf("verify: cold solve of probe %d: %w", i, err)
+		}
+		got, err := tab.SummaryError(w, eq)
+		if err != nil {
+			return nil, fmt.Errorf("verify: probe %d: %w", i, err)
+		}
+		if got > sum.ErrorBound || math.IsNaN(got) {
+			out = append(out, violationf("surrogate-differential", got, sum.ErrorBound,
+				"interpolated answer at (R=%.4g, Π=%.4g, L=%.4g) errs by %.3g, above the declared bound %.3g",
+				w.Requests, w.Pop, w.Timeliness, got, sum.ErrorBound))
+		}
+	}
+	return out, nil
+}

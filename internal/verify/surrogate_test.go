@@ -1,0 +1,46 @@
+package verify
+
+import (
+	"testing"
+)
+
+func TestSurrogateAgreementOnDefaults(t *testing.T) {
+	cfg, w := defaultInputs()
+	vs, err := SurrogateAgreement(cfg, w, 1)
+	if err != nil {
+		t.Fatalf("surrogate agreement: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("interpolated answers exceed the declared error bound: %v", vs)
+	}
+}
+
+// TestSurrogateDifferentialCatchesSeededViolation is the mutation test of the
+// tier-0 differential: the same probes that pass against honestly declared
+// bounds must trip the oracle once the table's bounds are shrunk below the
+// real interpolation error — a table promising more accuracy than it has.
+func TestSurrogateDifferentialCatchesSeededViolation(t *testing.T) {
+	cfg, w := defaultInputs()
+	tab, err := buildSurrogateTable(cfg, w)
+	if err != nil {
+		t.Fatalf("build table: %v", err)
+	}
+	vs, err := surrogateViolations(tab, cfg, 1, 2)
+	if err != nil {
+		t.Fatalf("probe honest table: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("honest table must verify clean: %v", vs)
+	}
+
+	for i := range tab.Bounds {
+		tab.Bounds[i] *= 1e-3
+	}
+	vs, err = surrogateViolations(tab, cfg, 1, 2)
+	if err != nil {
+		t.Fatalf("probe dishonest table: %v", err)
+	}
+	if !hasOracle(vs, "surrogate-differential") {
+		t.Fatal("bounds shrunk below the real interpolation error must fail the differential")
+	}
+}

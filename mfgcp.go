@@ -70,6 +70,15 @@ const (
 	PrecisionFloat32 = core.PrecisionFloat32
 )
 
+// SurrogateConfig points a solve at a precomputed surrogate table (built by
+// `mfgcp precompute`) and bounds the interpolation error it will accept:
+// Path names the table file and MaxErrorBound rejects in-region answers whose
+// declared per-cell bound exceeds it (0 accepts any in-region bound). It is
+// routing configuration, like KernelConfig — it never changes which
+// equilibrium a workload maps to, only where the answer may come from, so it
+// is excluded from cache keys.
+type SurrogateConfig = core.SurrogateConfig
+
 // DefaultSolverConfig returns the solver settings used by the experiments.
 func DefaultSolverConfig(p Params) SolverConfig { return core.DefaultConfig(p) }
 

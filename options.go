@@ -134,6 +134,23 @@ func WithKernel(workers int, precision string) Option {
 	}
 }
 
+// WithSurrogate points the configuration at a precomputed surrogate table
+// (built by `mfgcp precompute`): consumers that support the tier — the
+// serving daemon, `mfgcp solve -surrogate` — answer in-region workloads by
+// multilinear interpolation with the cell's declared error bound attached,
+// and fall back to the exact solver outside the trust region. maxErrorBound
+// tightens the trust region further: an in-region answer whose declared bound
+// exceeds it falls through too (0 accepts any in-region bound). Like
+// WithKernel this is routing, not model, configuration — it is excluded from
+// equilibrium cache keys.
+func WithSurrogate(path string, maxErrorBound float64) Option {
+	sc := SurrogateConfig{Path: path, MaxErrorBound: maxErrorBound}
+	return dualOption{
+		solve:  func(c *SolverConfig) { c.Surrogate = sc },
+		market: func(c *MarketConfig) { c.Solver.Surrogate = sc },
+	}
+}
+
 // WithSharing toggles the paid peer-sharing mechanism in the solver's utility
 // (the MFG baseline is the framework with sharing disabled).
 func WithSharing(enabled bool) SolveOption {

@@ -19,6 +19,7 @@ func TestNewSolverConfigOptions(t *testing.T) {
 		WithIteration(25, 5e-3),
 		WithSharing(false),
 		WithKernel(4, PrecisionFloat64),
+		WithSurrogate("table.mfgt", 0.05),
 		WithRecorder(rec),
 	)
 	if err != nil {
@@ -30,6 +31,9 @@ func TestNewSolverConfigOptions(t *testing.T) {
 	}
 	if cfg.Kernel != (KernelConfig{Workers: 4, Precision: PrecisionFloat64}) {
 		t.Errorf("kernel option not applied: %+v", cfg.Kernel)
+	}
+	if cfg.Surrogate != (SurrogateConfig{Path: "table.mfgt", MaxErrorBound: 0.05}) {
+		t.Errorf("surrogate option not applied: %+v", cfg.Surrogate)
 	}
 	def := DefaultSolverConfig(p)
 	if cfg.Damping != def.Damping || cfg.Params != p {
@@ -64,6 +68,7 @@ func TestNewMarketConfigOptions(t *testing.T) {
 		WithScheme("explicit"),
 		WithGrid(7, 21, 30),
 		WithKernel(2, ""),
+		WithSurrogate("table.mfgt", 0),
 		WithEscalation(ladder),
 		WithFaultPlan(plan),
 		WithCheckpoint(MarketCheckpointConfig{Dir: t.TempDir(), Every: 2}),
@@ -81,6 +86,9 @@ func TestNewMarketConfigOptions(t *testing.T) {
 	}
 	if cfg.Solver.Kernel.Workers != 2 {
 		t.Errorf("kernel option did not reach the nested solver: %+v", cfg.Solver.Kernel)
+	}
+	if cfg.Solver.Surrogate.Path != "table.mfgt" {
+		t.Errorf("surrogate option did not reach the nested solver: %+v", cfg.Solver.Surrogate)
 	}
 	if cfg.Recovery == nil || *cfg.Recovery != ladder {
 		t.Errorf("escalation not installed: %+v", cfg.Recovery)
