@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -26,7 +27,7 @@ import (
 // non-zero.
 func loadgenCmd(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
-	target := fs.String("target", "http://127.0.0.1:8080", "base URL of the serve daemon")
+	target := fs.String("target", "http://127.0.0.1:8080", "base URL of the serve daemon, or a comma-separated fleet member list to spray round-robin")
 	rps := fs.Float64("rps", 10, "offered request rate")
 	duration := fs.Duration("duration", 5*time.Second, "generation window")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request client deadline")
@@ -52,12 +53,19 @@ func loadgenCmd(args []string) error {
 		return err
 	}
 
+	var targets []string
+	for _, tgt := range strings.Split(*target, ",") {
+		if tgt = strings.TrimSpace(tgt); tgt != "" {
+			targets = append(targets, tgt)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(os.Stderr, "mfgcp loadgen: %s for %s at %g rps (%d distinct workloads)\n",
-		*target, *duration, *rps, len(bodies))
+		strings.Join(targets, ","), *duration, *rps, len(bodies))
 	rep, err := loadgen.Run(ctx, loadgen.Config{
-		Target:        *target,
+		Targets:       targets,
 		RPS:           *rps,
 		Duration:      *duration,
 		Timeout:       *timeout,

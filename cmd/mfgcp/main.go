@@ -42,6 +42,12 @@
 // error/shed/timeout rates as JSON, exiting non-zero when a declared SLO is
 // violated; see `mfgcp loadgen -h` and the README's Load testing section.
 //
+// `mfgcp serve` daemons also form a sharded fleet: `-peers` declares a static
+// consistent-hash ring over the members, and local cache misses are filled
+// from the key's ring owner before solving cold (source "peer"); `mfgcp
+// manifests` renders the matching Kubernetes StatefulSet, Services and pinned
+// autoscaler into deploy/; see the README's Running a fleet section.
+//
 // `mfgcp verify` runs the numerical verification suite (invariant oracles,
 // cross-scheme differential tests, convergence-order estimation, property
 // sweep) and exits non-zero on any violation; see `mfgcp verify -h` and the
@@ -90,6 +96,8 @@ func run(args []string) (retErr error) {
 		return serveCmd(args[1:])
 	case "loadgen":
 		return loadgenCmd(args[1:])
+	case "manifests":
+		return manifestsCmd(args[1:])
 	case "verify":
 		return verifyCmd(args[1:])
 	case "help", "-h", "--help":
@@ -199,6 +207,7 @@ usage:
   mfgcp market [flags]       run one agent-based market (see market -h)
   mfgcp serve [flags]        run the equilibrium-serving daemon (see serve -h)
   mfgcp loadgen [flags]      load-test a running daemon against an SLO (see loadgen -h)
+  mfgcp manifests [flags]    render the Kubernetes fleet manifests (see manifests -h)
   mfgcp verify [flags]       run the numerical verification suite (see verify -h)
 
 flags:

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestManifestsMatchCommitted pins the committed deploy/ directory to the
+// generator: the manifests are machine-written (the static ring bakes the
+// fleet size into the StatefulSet args, the Services and the pinned
+// autoscaler at once), so a hand edit or a generator change without a
+// regeneration must fail loudly here, the same way the CI diff does.
+func TestManifestsMatchCommitted(t *testing.T) {
+	dir := t.TempDir()
+	if err := manifestsCmd([]string{"-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range renderManifests(3, "mfgcp:latest", "default", 8080) {
+		generated, err := os.ReadFile(filepath.Join(dir, m.name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed, err := os.ReadFile(filepath.Join("..", "..", "deploy", m.name))
+		if err != nil {
+			t.Fatalf("committed manifest missing (regenerate with `mfgcp manifests -out deploy`): %v", err)
+		}
+		if !bytes.Equal(generated, committed) {
+			t.Errorf("deploy/%s differs from the generator output; regenerate with `mfgcp manifests -out deploy`", m.name)
+		}
+		if !bytes.Equal(generated, []byte(m.doc)) {
+			t.Errorf("%s on disk differs from renderManifests output", m.name)
+		}
+	}
+}
+
+// TestManifestsShape pins the structural invariants the fleet depends on:
+// per-ordinal DNS peers, $(POD_NAME) advertise expansion, both probe
+// endpoints, a headless governing service that publishes not-ready
+// addresses, and an autoscaler pinned at the generated fleet size.
+func TestManifestsShape(t *testing.T) {
+	docs := renderManifests(5, "registry.example/mfgcp:v2", "edge", 9090)
+	byName := make(map[string]string, len(docs))
+	for _, m := range docs {
+		byName[m.name] = m.doc
+	}
+
+	ss := byName["statefulset.yaml"]
+	for _, want := range []string{
+		"replicas: 5",
+		"image: registry.example/mfgcp:v2",
+		"namespace: edge",
+		"-addr=0.0.0.0:9090",
+		"-advertise=http://$(POD_NAME).mfgcp:9090",
+		"-peers=" + strings.Join(fleetPeers(5, 9090), ","),
+		"path: /readyz",
+		"path: /healthz",
+	} {
+		if !strings.Contains(ss, want) {
+			t.Errorf("statefulset.yaml missing %q", want)
+		}
+	}
+	if peers := fleetPeers(5, 9090); peers[0] != "http://mfgcp-0.mfgcp:9090" || peers[4] != "http://mfgcp-4.mfgcp:9090" {
+		t.Errorf("fleetPeers(5, 9090) = %v, want per-ordinal headless DNS names", peers)
+	}
+
+	svc := byName["service.yaml"]
+	for _, want := range []string{"clusterIP: None", "publishNotReadyAddresses: true", "name: mfgcp-client"} {
+		if !strings.Contains(svc, want) {
+			t.Errorf("service.yaml missing %q", want)
+		}
+	}
+
+	hpa := byName["hpa.yaml"]
+	for _, want := range []string{"minReplicas: 5", "maxReplicas: 5", "kind: StatefulSet"} {
+		if !strings.Contains(hpa, want) {
+			t.Errorf("hpa.yaml missing %q (bounds must pin the static ring size)", want)
+		}
+	}
+}
+
+// TestManifestsRejectsBadReplicas pins the argument guard.
+func TestManifestsRejectsBadReplicas(t *testing.T) {
+	if err := manifestsCmd([]string{"-out", t.TempDir(), "-replicas", "0"}); err == nil {
+		t.Fatal("manifests accepted -replicas 0")
+	}
+}

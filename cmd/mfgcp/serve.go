@@ -8,10 +8,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	mfgcp "repro"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -45,6 +47,11 @@ func serveCmd(args []string) (retErr error) {
 	surrogateMaxBound := fs.Float64("surrogate-max-bound", 0, "reject surrogate answers whose declared error bound exceeds this (0 = any in-region bound)")
 	kernelWorkers := fs.Int("kernel-workers", 0, "parallel PDE line-sweep workers per solve (0 or 1 is serial)")
 	precision := fs.String("precision", "", "PDE kernel precision: float64 (default) or float32 (fast path, implicit scheme only)")
+	peers := fs.String("peers", "", "comma-separated fleet member base URLs (including this replica); enables consistent-hash routing and peer cache-fill")
+	advertise := fs.String("advertise", "", "this replica's own base URL as it appears in -peers (default http://<addr>)")
+	peerTimeout := fs.Duration("peer-timeout", 10*time.Second, "peer cache-fill round-trip bound; an expired fill degrades to a local solve")
+	peerProbe := fs.Duration("peer-probe", time.Second, "peer /readyz health-probe interval")
+	ringVnodes := fs.Int("ring-vnodes", 0, "virtual nodes per ring member (0 = default 128)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +113,31 @@ func serveCmd(args []string) (retErr error) {
 		return err
 	}
 
+	// Fleet membership: -peers lists every replica (self included); -advertise
+	// names this one. A listen address like ":8080" has no routable host, so
+	// the default advertised URL substitutes loopback — fine for local fleets;
+	// Kubernetes pods pass their stable DNS name explicitly.
+	var ccfg cluster.Config
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				ccfg.Peers = append(ccfg.Peers, p)
+			}
+		}
+		self := *advertise
+		if self == "" {
+			if strings.HasPrefix(*addr, ":") {
+				self = "http://127.0.0.1" + *addr
+			} else {
+				self = "http://" + *addr
+			}
+		}
+		ccfg.Self = self
+		ccfg.PeerTimeout = *peerTimeout
+		ccfg.ProbeInterval = *peerProbe
+		ccfg.VirtualNodes = *ringVnodes
+	}
+
 	// The daemon always runs a live registry — the serve.* metrics are part
 	// of its API surface — reusing the telemetry one when the obs flags
 	// already built it.
@@ -135,6 +167,7 @@ func serveCmd(args []string) (retErr error) {
 		CacheDiskBytes:       *cacheDiskBytes,
 		Breaker:              serve.BreakerConfig{Failures: *breakerFailures, OpenFor: *breakerOpen},
 		RetryBudgetRatio:     *retryBudget,
+		Cluster:              ccfg,
 	})
 	if err != nil {
 		return err
@@ -150,6 +183,9 @@ func serveCmd(args []string) (retErr error) {
 		*addr, nWorkers, *queue, *eqCache)
 	if solver.Surrogate.Path != "" {
 		fmt.Fprintf(os.Stderr, "mfgcp serve: tier-0 surrogate table %s\n", solver.Surrogate.Path)
+	}
+	if ccfg.Enabled() {
+		fmt.Fprintf(os.Stderr, "mfgcp serve: fleet member %s of %d peers\n", ccfg.Self, len(ccfg.Peers))
 	}
 	if err := srv.Run(ctx); err != nil {
 		return err

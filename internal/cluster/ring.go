@@ -1,0 +1,182 @@
+// Package cluster turns a set of independent `mfgcp serve` replicas into one
+// sharded fleet that behaves like a single big equilibrium cache — ROADMAP
+// item 1's "consistent-hash sharding of the equilibrium keyspace across
+// replicas". The canonical quantised engine.CacheKey is the shard key: every
+// tier of the serving ladder (LRU, segment store, surrogate lattice) already
+// agrees on it, so the ring simply assigns each key an owner replica and the
+// serving tier fills local misses from that owner before solving cold.
+//
+// The package has two layers:
+//
+//   - Ring: a static consistent-hash ring with virtual nodes. Ownership is a
+//     pure function of (member set, key) — independent of join order — and a
+//     membership change moves only the keys adjacent to the changed member's
+//     virtual nodes (no reshuffle among survivors).
+//   - Cluster: the operational wrapper — validated member list, /readyz
+//     health probing that gates routing, and the /v1/peer/get HTTP client the
+//     serving tier calls to fill a miss from the key's owner.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// defaultVirtualNodes is the per-member virtual-node count when the
+// configuration does not override it. 128 points per member keeps the
+// max/mean key imbalance under ~1.3 on the quantised-key distributions the
+// serving tier sees (pinned by the ring property tests).
+const defaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over fleet member names (base URLs in the
+// serving tier). Lookups walk the ring clockwise from the key's hash to the
+// first virtual node; Owner is therefore deterministic in the member set
+// alone — two replicas that agree on membership agree on every key's owner
+// regardless of the order members were added.
+//
+// All methods are safe for concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]struct{}
+	points  []ringPoint // sorted by (hash, member)
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing returns an empty ring placing vnodes virtual nodes per member
+// (values < 1 select the default).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = defaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// hashKey positions a cache key (or a member's virtual node label) on the
+// ring. FNV-1a/64 is deliberate: zero allocation, stable across processes and
+// architectures (no seed), which the fleet depends on — every replica must
+// hash every key identically. FNV alone avalanches poorly on near-identical
+// inputs (virtual-node labels differ only in a trailing counter, which left
+// visible clustering on the ring), so the output passes through a
+// splitmix64-style finalizer to spread every input bit across the word.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member (idempotent). Only keys falling on the arcs claimed by
+// the new member's virtual nodes change owner; every other key keeps its
+// previous owner (pinned by TestRingMinimalMovement).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hashKey(member + "#" + strconv.Itoa(i)), member})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties break on the member name so ownership never depends on
+		// insertion order.
+		return r.points[a].member < r.points[b].member
+	})
+}
+
+// Remove deletes a member (idempotent). Only the removed member's keys are
+// redistributed; survivors keep every key they owned.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the member owning key: the first virtual node at or clockwise
+// of the key's hash. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	return r.OwnerAlive(key, nil)
+}
+
+// OwnerAlive returns the first member at or clockwise of the key's hash for
+// which alive returns true (nil means every member qualifies) — the failover
+// walk: when a key's primary owner is unreachable, ownership falls to the
+// next distinct member on the ring, consistently across every replica that
+// agrees on the health view. Returns "" when no member qualifies.
+func (r *Ring) OwnerAlive(key string, alive func(string) bool) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.points)
+	if n == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	if alive == nil {
+		return r.points[start%n].member
+	}
+	// Failover walk: judge each distinct member once, in ring order, so a
+	// dead member's remaining virtual nodes never stall the walk and the loop
+	// terminates even when alive rejects everyone.
+	rejected := make(map[string]struct{}, len(r.members))
+	for i := 0; i < n; i++ {
+		p := r.points[(start+i)%n]
+		if _, seen := rejected[p.member]; seen {
+			continue
+		}
+		if alive(p.member) {
+			return p.member
+		}
+		rejected[p.member] = struct{}{}
+		if len(rejected) == len(r.members) {
+			return ""
+		}
+	}
+	return ""
+}
+
+// Members returns the member set, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mec"
+)
+
+// sampleKeys generates quantised canonical cache keys the way the serving
+// tier does — engine.CacheKey over drifting workloads on a fixed solver
+// configuration — so the ring properties are pinned against the key
+// distribution the fleet actually shards, not synthetic uniform strings.
+func sampleKeys(tb testing.TB, n int) []string {
+	tb.Helper()
+	cfg := engine.DefaultConfig(mec.Default())
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for len(keys) < n {
+		w := engine.Workload{
+			Requests:   math.Round(rng.Float64()*2000) / 10,
+			Pop:        math.Round(rng.Float64()*1000) / 1000,
+			Timeliness: math.Round(rng.Float64()*100) / 10,
+		}
+		k := engine.CacheKey(cfg, w)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func fleetMembers(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://mfgcp-%d.mfgcp:8080", i)
+	}
+	return members
+}
+
+// TestRingOwnerDeterministicAcrossJoinOrder: ownership must be a pure
+// function of the member set — every replica builds its ring from its own
+// -peers flag, in whatever order the flag listed them, and they must all
+// agree on every key's owner or the fleet double-solves and misroutes.
+func TestRingOwnerDeterministicAcrossJoinOrder(t *testing.T) {
+	members := fleetMembers(5)
+	keys := sampleKeys(t, 500)
+
+	reference := NewRing(0)
+	for _, m := range members {
+		reference.Add(m)
+	}
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = reference.Owner(k)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(0)
+		for _, m := range shuffled {
+			r.Add(m)
+		}
+		for i, k := range keys {
+			if got := r.Owner(k); got != want[i] {
+				t.Fatalf("trial %d (join order %v): key %q owner %q, want %q", trial, shuffled, k, got, want[i])
+			}
+		}
+	}
+}
+
+// TestRingBalance: over K sampled quantised keys and N members, no member may
+// own more than ceil(K/N) plus a slack proportional to fair share — the
+// virtual-node count exists exactly to keep one replica from becoming the
+// fleet's hot spot.
+func TestRingBalance(t *testing.T) {
+	const slackFraction = 0.5 // max load ≤ 1.5 × fair share
+	keys := sampleKeys(t, 5000)
+	for _, n := range []int{2, 3, 5, 8} {
+		members := fleetMembers(n)
+		r := NewRing(0)
+		for _, m := range members {
+			r.Add(m)
+		}
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			owner := r.Owner(k)
+			if owner == "" {
+				t.Fatalf("n=%d: key %q unowned on a populated ring", n, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d of %d members own any keys: %v", n, len(counts), n, counts)
+		}
+		fair := int(math.Ceil(float64(len(keys)) / float64(n)))
+		limit := fair + int(slackFraction*float64(len(keys))/float64(n))
+		for m, c := range counts {
+			if c > limit {
+				t.Errorf("n=%d: member %s owns %d keys > limit %d (fair %d)", n, m, c, limit, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: a membership change may only remap the keys that
+// involve the changed member — on a join every remapped key must move TO the
+// joiner and fewer than 2/N of all keys may move; on a leave only the
+// leaver's keys remap and every survivor keeps its entire key set. This is
+// the property that makes rolling restarts cheap: the rest of the fleet's
+// caches stay warm.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := sampleKeys(t, 4000)
+	const n = 4
+	members := fleetMembers(n + 1)
+	base, joiner := members[:n], members[n]
+
+	r := NewRing(0)
+	for _, m := range base {
+		r.Add(m)
+	}
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Owner(k)
+	}
+
+	r.Add(joiner)
+	moved := 0
+	for i, k := range keys {
+		after := r.Owner(k)
+		if after == before[i] {
+			continue
+		}
+		moved++
+		if after != joiner {
+			t.Fatalf("join: key %q moved %q → %q, not to joiner %q", k, before[i], after, joiner)
+		}
+	}
+	if moved == 0 {
+		t.Error("join: joiner took over no sampled keys")
+	}
+	if bound := 2.0 / float64(n); float64(moved)/float64(len(keys)) >= bound {
+		t.Errorf("join: %d/%d keys remapped (%.3f), want < %.3f", moved, len(keys), float64(moved)/float64(len(keys)), bound)
+	}
+
+	// Leave: removing the joiner must restore exactly the pre-join ownership —
+	// its keys scatter back and nobody else's move.
+	r.Remove(joiner)
+	for i, k := range keys {
+		if got := r.Owner(k); got != before[i] {
+			t.Fatalf("leave: key %q owner %q, want pre-join owner %q", k, got, before[i])
+		}
+	}
+}
+
+// TestRingOwnerAliveFailover: with the primary owner rejected, ownership must
+// fall to another member (never ""), deterministically; with every member
+// rejected the walk must terminate and report no owner.
+func TestRingOwnerAliveFailover(t *testing.T) {
+	members := fleetMembers(3)
+	r := NewRing(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := sampleKeys(t, 200)
+	for _, k := range keys {
+		primary := r.Owner(k)
+		alive := func(m string) bool { return m != primary }
+		fallback := r.OwnerAlive(k, alive)
+		if fallback == "" || fallback == primary {
+			t.Fatalf("key %q: failover owner %q (primary %q)", k, fallback, primary)
+		}
+		if again := r.OwnerAlive(k, alive); again != fallback {
+			t.Fatalf("key %q: failover not deterministic: %q then %q", k, fallback, again)
+		}
+	}
+	if got := r.OwnerAlive(keys[0], func(string) bool { return false }); got != "" {
+		t.Errorf("all members rejected: owner %q, want \"\"", got)
+	}
+}
+
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("k"); got != "" {
+		t.Errorf("empty ring owner %q, want \"\"", got)
+	}
+	r.Add("http://a:1")
+	r.Add("http://a:1") // idempotent: no duplicate virtual nodes
+	if got := r.Len(); got != 1 {
+		t.Errorf("Len = %d after duplicate Add, want 1", got)
+	}
+	if got := r.Owner("k"); got != "http://a:1" {
+		t.Errorf("singleton ring owner %q", got)
+	}
+	r.Remove("http://b:2") // unknown member: no-op
+	r.Remove("http://a:1")
+	r.Remove("http://a:1")
+	if got, n := r.Owner("k"), r.Len(); got != "" || n != 0 {
+		t.Errorf("drained ring: owner %q len %d", got, n)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,13 @@ type Config struct {
 	// Target is the base URL of a running serve daemon
 	// (e.g. "http://127.0.0.1:8080").
 	Target string
+	// Targets, when set, sprays the load across a fleet: requests rotate
+	// round-robin over these base URLs (Target is ignored). With ScrapeMetrics
+	// on, every member is scraped and the report carries both per-replica
+	// counters (Report.Replicas) and the fleet-wide aggregate (Report.Server)
+	// — including the cluster routing counters owned/forwarded/peer_hit/
+	// peer_miss.
+	Targets []string
 	// RPS is the offered request rate (default 10).
 	RPS float64
 	// Duration is the generation window (default 5s); requests in flight at
@@ -125,8 +133,12 @@ type Report struct {
 
 	Latency LatencySummary `json:"latency_ms"`
 
-	// Server holds the daemon-side counter deltas when ScrapeMetrics is on.
+	// Server holds the daemon-side counter deltas when ScrapeMetrics is on;
+	// for a multi-target run it is the fleet-wide aggregate.
 	Server *ServerCounters `json:"server,omitempty"`
+	// Replicas holds the per-member counter deltas of a multi-target run
+	// (ScrapeMetrics on), in target order.
+	Replicas []ReplicaCounters `json:"replicas,omitempty"`
 
 	SLO        SLO      `json:"slo"`
 	Violations []string `json:"violations,omitempty"`
@@ -139,8 +151,12 @@ type Report struct {
 // not an error — callers gate on Report.Pass.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Target == "" {
-		return nil, fmt.Errorf("loadgen: Target is required")
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		if cfg.Target == "" {
+			return nil, fmt.Errorf("loadgen: Target is required")
+		}
+		targets = []string{cfg.Target}
 	}
 	if len(cfg.Bodies) == 0 {
 		return nil, fmt.Errorf("loadgen: at least one request body is required")
@@ -150,11 +166,24 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		client = &http.Client{Timeout: cfg.Timeout}
 	}
 
-	var before map[string]float64
+	// Pre-run scrapes, one per fleet member. A member that cannot be scraped
+	// (e.g. already killed by a chaos harness) contributes nil and is skipped
+	// in the report rather than failing the run.
+	var before []map[string]float64
 	if cfg.ScrapeMetrics {
-		var err error
-		if before, err = scrapeProm(client, cfg.Target); err != nil {
-			return nil, err
+		before = make([]map[string]float64, len(targets))
+		scraped := 0
+		var lastErr error
+		for i, tgt := range targets {
+			if snap, err := scrapeProm(client, tgt); err == nil {
+				before[i] = snap
+				scraped++
+			} else {
+				lastErr = err
+			}
+		}
+		if scraped == 0 {
+			return nil, lastErr
 		}
 	}
 
@@ -165,10 +194,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		sem  = make(chan struct{}, cfg.MaxInFlight)
 		wg   sync.WaitGroup
 	)
-	fire := func(body []byte, seq int64) {
+	fire := func(target string, body []byte, seq int64) {
 		defer wg.Done()
 		defer func() { <-sem }()
-		req, err := http.NewRequest(http.MethodPost, cfg.Target+"/v1/solve", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, target+"/v1/solve", bytes.NewReader(body))
 		if err != nil {
 			errCount.Add(1)
 			return
@@ -237,10 +266,15 @@ generate:
 			seq := sent.Add(1)
 			select {
 			case sem <- struct{}{}:
+				// Bodies rotate per request and the target advances per body
+				// cycle, so every body visits every fleet member within
+				// len(Bodies)×len(targets) requests (mixed-target load) even
+				// when the two cycle lengths share factors.
 				body := cfg.Bodies[next%len(cfg.Bodies)]
+				target := targets[(next/len(cfg.Bodies))%len(targets)]
 				next++
 				wg.Add(1)
-				go fire(body, seq)
+				go fire(target, body, seq)
 			default:
 				dropped.Add(1) // open loop: never queue behind a saturated cap
 			}
@@ -250,7 +284,7 @@ generate:
 	elapsed := time.Since(runStart)
 
 	rep := &Report{
-		Target:          cfg.Target,
+		Target:          strings.Join(targets, ","),
 		OfferedRPS:      cfg.RPS,
 		DurationSeconds: elapsed.Seconds(),
 		Sent:            sent.Load(),
@@ -263,11 +297,26 @@ generate:
 		SLO:             cfg.SLO,
 	}
 	if cfg.ScrapeMetrics {
-		after, err := scrapeProm(client, cfg.Target)
-		if err != nil {
-			return nil, err
+		for i, tgt := range targets {
+			if before[i] == nil {
+				continue // unscrapeable before the run; still unaccounted
+			}
+			after, err := scrapeProm(client, tgt)
+			if err != nil {
+				// The member died during the window (chaos harness): its
+				// pre-kill counters are unreadable now, so it contributes
+				// nothing rather than failing the whole report.
+				continue
+			}
+			rep.Replicas = append(rep.Replicas, ReplicaCounters{
+				Target:         tgt,
+				ServerCounters: *counterDeltas(before[i], after),
+			})
 		}
-		rep.Server = counterDeltas(before, after)
+		rep.Server = aggregateCounters(rep.Replicas)
+		if len(targets) == 1 {
+			rep.Replicas = nil // single-target reports keep their PR-4 shape
+		}
 	}
 	if rep.Sent == 0 {
 		if err := ctx.Err(); err != nil {
@@ -346,7 +395,7 @@ func validateSolveBody(data []byte) error {
 		return fmt.Errorf("loadgen: solve body with %d time samples and %d prices", len(body.Time), len(body.Price))
 	}
 	switch body.Source {
-	case "surrogate", "cache", "store", "coalesced", "solve":
+	case "surrogate", "cache", "store", "peer", "coalesced", "solve":
 	case "":
 		// Tolerated for one release: a pre-source daemon under test.
 	default:

@@ -249,7 +249,7 @@ func TestValidateCorrupt200s(t *testing.T) {
 		}
 	}
 	// Every real ladder source passes, as does a pre-source daemon body.
-	for _, src := range []string{"surrogate", "cache", "store", "coalesced", "solve", ""} {
+	for _, src := range []string{"surrogate", "cache", "store", "peer", "coalesced", "solve", ""} {
 		ok := fmt.Sprintf(`{"converged": true, "time": [0], "price": [1], "source": %q}`, src)
 		if err := validateSolveBody([]byte(ok)); err != nil {
 			t.Errorf("validateSolveBody rejected source %q: %v", src, err)
@@ -266,10 +266,12 @@ func TestScrapeServerCounters(t *testing.T) {
 		"# TYPE serve_solve_requests_total counter\nserve_solve_requests_total 100\n" +
 			"engine_cache_hit_total 40\nstore_hit_total 10\nserve_solve_executed_total 50\n" +
 			"serve_surrogate_hit_total 5\n" +
+			"cluster_peer_hit_total 2\ncluster_peer_miss_total 1\ncluster_owned_total 10\ncluster_forwarded_total 5\n" +
 			"store_corrupt_total_total 1\nbreaker_open_total 2\nserve_breaker_rejected_total 5\n",
 		// Scrape 2, after the window.
-		"serve_solve_requests_total 200\nengine_cache_hit_total 110\nstore_hit_total 20\n" +
+		"serve_solve_requests_total 200\nengine_cache_hit_total 80\nstore_hit_total 20\n" +
 			"serve_solve_executed_total 70\nserve_surrogate_hit_total 30\n" +
+			"cluster_peer_hit_total 7\ncluster_peer_miss_total 2\ncluster_owned_total 30\ncluster_forwarded_total 10\n" +
 			"store_corrupt_total_total 1\nbreaker_open_total 3\n" +
 			"serve_breaker_rejected_total 5\n",
 	}
@@ -300,8 +302,12 @@ func TestScrapeServerCounters(t *testing.T) {
 	if sc == nil {
 		t.Fatal("ScrapeMetrics produced no server counters")
 	}
+	// The warm-hit-rate numerator counts EVERY warm tier — surrogate (25),
+	// LRU (40), store (10) and peer fills (5) — over 100 requests: 0.8. The
+	// pre-fleet formula counted only LRU/store and would report 0.5 here.
 	want := ServerCounters{
-		SurrogateHits: 25, CacheHits: 70, StoreHits: 10, SolveRequests: 100, SolvesExecuted: 20,
+		SurrogateHits: 25, CacheHits: 40, StoreHits: 10, SolveRequests: 100, SolvesExecuted: 20,
+		PeerHits: 5, PeerMisses: 1, Owned: 20, Forwarded: 5,
 		StoreCorrupt: 0, BreakerOpens: 1, BreakerRejected: 0,
 		SurrogateHitRate: 0.25, WarmHitRate: 0.8,
 	}
@@ -315,9 +321,62 @@ func TestScrapeServerCounters(t *testing.T) {
 	if !ok {
 		t.Fatalf("report JSON server section is %T", doc["server"])
 	}
-	for _, key := range []string{"surrogate_hits", "surrogate_hit_rate", "cache_hits", "store_hits", "warm_hit_rate", "breaker_opens", "store_corrupt"} {
+	for _, key := range []string{"surrogate_hits", "surrogate_hit_rate", "cache_hits", "store_hits", "peer_hits", "peer_misses", "owned", "forwarded", "warm_hit_rate", "breaker_opens", "store_corrupt"} {
 		if _, ok := srvDoc[key]; !ok {
 			t.Errorf("server counters JSON missing %q", key)
 		}
+	}
+}
+
+// TestMultiTargetSpray pins the fleet mode: Targets spreads requests over
+// every member, and with ScrapeMetrics on the report carries per-replica
+// counter deltas plus their fleet-wide aggregate.
+func TestMultiTargetSpray(t *testing.T) {
+	mkMember := func(requests *atomic.Int64, peerHits int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/metrics" {
+				fmt.Fprintf(w, "serve_solve_requests_total %d\ncluster_peer_hit_total %d\n", requests.Load(), peerHits)
+				return
+			}
+			requests.Add(1)
+		}))
+	}
+	var nA, nB atomic.Int64
+	a := mkMember(&nA, 3)
+	defer a.Close()
+	b := mkMember(&nB, 4)
+	defer b.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Targets:       []string{a.URL, b.URL},
+		RPS:           200,
+		Duration:      300 * time.Millisecond,
+		Bodies:        body,
+		ScrapeMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nA.Load() == 0 || nB.Load() == 0 {
+		t.Errorf("spray skipped a member: a=%d b=%d", nA.Load(), nB.Load())
+	}
+	if len(rep.Replicas) != 2 {
+		t.Fatalf("Replicas has %d entries, want 2: %+v", len(rep.Replicas), rep.Replicas)
+	}
+	if rep.Replicas[0].Target != a.URL || rep.Replicas[1].Target != b.URL {
+		t.Errorf("replica order %q, %q; want target order", rep.Replicas[0].Target, rep.Replicas[1].Target)
+	}
+	if rep.Server == nil {
+		t.Fatal("no aggregate server counters")
+	}
+	// The fixture metrics are absolute and static between scrapes except
+	// serve_solve_requests_total, which grows with the member's own traffic;
+	// the aggregate must equal the sum of the per-replica deltas.
+	wantAgg := rep.Replicas[0].SolveRequests + rep.Replicas[1].SolveRequests
+	if rep.Server.SolveRequests != wantAgg {
+		t.Errorf("aggregate SolveRequests = %g, want %g", rep.Server.SolveRequests, wantAgg)
+	}
+	if rep.Target != a.URL+","+b.URL {
+		t.Errorf("report target = %q, want joined member list", rep.Target)
 	}
 }

@@ -22,11 +22,20 @@ type ServerCounters struct {
 	StoreHits      float64 `json:"store_hits"`
 	SolveRequests  float64 `json:"solve_requests"`
 	SolvesExecuted float64 `json:"solves_executed"`
+	// PeerHits and PeerMisses count peer cache-fill round trips that answered
+	// and that degraded to a local solve; Owned and Forwarded split the local
+	// misses by ring ownership (fleet runs only).
+	PeerHits   float64 `json:"peer_hits"`
+	PeerMisses float64 `json:"peer_misses"`
+	Owned      float64 `json:"owned"`
+	Forwarded  float64 `json:"forwarded"`
 	// SurrogateHitRate is SurrogateHits/SolveRequests — how much of the window
 	// the precomputed table absorbed before the exact ladder.
 	SurrogateHitRate float64 `json:"surrogate_hit_rate"`
-	// WarmHitRate is (CacheHits+StoreHits)/SolveRequests — the kill-and-restart
-	// chaos gate asserts it stays positive after a daemon restart.
+	// WarmHitRate is (SurrogateHits+CacheHits+StoreHits+PeerHits)/SolveRequests
+	// — the fraction of requests answered without a fresh local solve, across
+	// every warm tier of the ladder. The kill-and-restart chaos gate asserts it
+	// stays positive after a daemon restart.
 	WarmHitRate float64 `json:"warm_hit_rate"`
 	// StoreCorrupt counts records the store refused to serve (CRC failures).
 	StoreCorrupt float64 `json:"store_corrupt"`
@@ -34,6 +43,12 @@ type ServerCounters struct {
 	// failed fast.
 	BreakerOpens    float64 `json:"breaker_opens"`
 	BreakerRejected float64 `json:"breaker_rejected"`
+}
+
+// ReplicaCounters are one fleet member's counter deltas in a multi-target run.
+type ReplicaCounters struct {
+	Target string `json:"target"`
+	ServerCounters
 }
 
 // scrapeProm fetches one Prometheus text exposition and returns its single
@@ -91,13 +106,52 @@ func counterDeltas(before, after map[string]float64) *ServerCounters {
 		StoreHits:       d("store_hit_total"),
 		SolveRequests:   d("serve_solve_requests_total"),
 		SolvesExecuted:  d("serve_solve_executed_total"),
+		PeerHits:        d("cluster_peer_hit_total"),
+		PeerMisses:      d("cluster_peer_miss_total"),
+		Owned:           d("cluster_owned_total"),
+		Forwarded:       d("cluster_forwarded_total"),
 		StoreCorrupt:    d("store_corrupt_total_total"),
 		BreakerOpens:    d("breaker_open_total"),
 		BreakerRejected: d("serve_breaker_rejected_total"),
 	}
+	sc.fillRates()
+	return sc
+}
+
+// fillRates derives the hit-rate fields from the raw counters. Every tier
+// that answers without running a fresh solve on this replica counts as warm —
+// surrogate, LRU, store and peer fills alike; counting only LRU/store (the
+// pre-fleet formula) under-reported warmth on surrogate- or fleet-served
+// traffic.
+func (sc *ServerCounters) fillRates() {
 	if sc.SolveRequests > 0 {
 		sc.SurrogateHitRate = sc.SurrogateHits / sc.SolveRequests
-		sc.WarmHitRate = (sc.CacheHits + sc.StoreHits) / sc.SolveRequests
+		sc.WarmHitRate = (sc.SurrogateHits + sc.CacheHits + sc.StoreHits + sc.PeerHits) / sc.SolveRequests
 	}
-	return sc
+}
+
+// aggregateCounters folds per-replica deltas into one fleet-wide view; rates
+// are recomputed over the summed counters. Returns nil when nothing was
+// scraped.
+func aggregateCounters(replicas []ReplicaCounters) *ServerCounters {
+	if len(replicas) == 0 {
+		return nil
+	}
+	var sum ServerCounters
+	for _, r := range replicas {
+		sum.SurrogateHits += r.SurrogateHits
+		sum.CacheHits += r.CacheHits
+		sum.StoreHits += r.StoreHits
+		sum.SolveRequests += r.SolveRequests
+		sum.SolvesExecuted += r.SolvesExecuted
+		sum.PeerHits += r.PeerHits
+		sum.PeerMisses += r.PeerMisses
+		sum.Owned += r.Owned
+		sum.Forwarded += r.Forwarded
+		sum.StoreCorrupt += r.StoreCorrupt
+		sum.BreakerOpens += r.BreakerOpens
+		sum.BreakerRejected += r.BreakerRejected
+	}
+	sum.fillRates()
+	return &sum
 }

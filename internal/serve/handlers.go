@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/mec"
 	"repro/internal/obs"
@@ -51,9 +52,9 @@ type SolveResponse struct {
 	SharerFrac    []float64 `json:"sharer_frac"`
 
 	// Source names the serving-ladder rung that produced this answer:
-	// "surrogate", "cache", "store", "coalesced" or "solve". It replaces the
-	// deprecated X-Mfgcp-Cache header (still emitted, derived from this
-	// field, for one release).
+	// "surrogate", "cache", "store", "peer", "coalesced" or "solve". It
+	// replaces the deprecated X-Mfgcp-Cache header (still emitted, derived
+	// from this field, for one release).
 	Source Source `json:"source"`
 	// ErrorBound is the declared interpolation-error bound of a surrogate
 	// answer (the verify-differential metric: sup over time of price/p̂, mean
@@ -107,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/peer/get", s.handlePeerGet)
 	mux.HandleFunc("POST /v1/policy/epoch", s.handleEpoch)
 	if s.cfg.Registry != nil {
 		// The PR-1 observability surface, mounted on the daemon's own mux so
@@ -186,7 +188,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout+time.Second)
 	defer cancel()
 	isRetry := r.Header.Get("X-Mfgcp-Retry") != ""
-	eq, out, err := s.solve(ctx, cfg, wl, timeout, isRetry)
+	// The raw request documents ride along so a fleet replica can forward
+	// them verbatim to the key's ring owner on a local miss.
+	docs := &cluster.PeerRequest{Params: req.Params, Solver: req.Solver, Workload: req.Workload}
+	eq, out, err := s.solve(ctx, cfg, wl, timeout, isRetry, docs)
 	if err != nil && !(errors.Is(err, engine.ErrNotConverged) && eq != nil) {
 		s.writeError(w, err)
 		return
@@ -205,6 +210,73 @@ func writeSolveHeaders(w http.ResponseWriter, src Source, coalesced bool, solveT
 	w.Header().Set("X-Mfgcp-Cache", src.LegacyCacheHeader())
 	w.Header().Set("X-Mfgcp-Coalesced", strconv.FormatBool(coalesced))
 	w.Header().Set("X-Mfgcp-Solve-Ms", strconv.FormatFloat(solveTime.Seconds()*1e3, 'f', 3, 64))
+}
+
+// handlePeerGet answers an intra-fleet cache-fill: the requester resolved
+// this replica as the key's ring owner and forwarded the client's original
+// documents. The request runs through this replica's own full ladder (LRU →
+// store → singleflight → workers) with the cluster tier disabled, so every
+// cold solve for a key executes exactly once fleet-wide — concurrent fills
+// from many replicas coalesce on the owner's singleflight — and a fill never
+// re-forwards (no routing loops). The response body is the gob-marshalled
+// full equilibrium, not the downsampled JSON summary, so the requester's
+// promoted LRU entry serves byte-identical bodies afterwards. The surrogate
+// tier is deliberately skipped: the requester already consulted its own copy
+// of the table, and an interpolated summary has no equilibrium to promote.
+func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		s.writeError(w, badRequest(errors.New("serve: peer endpoint disabled (no -peers configured)")))
+		return
+	}
+	var req cluster.PeerRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cfg, err := s.resolveSolver(req.Params, req.Solver)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	wl := engine.Workload{}
+	if len(req.Workload) > 0 {
+		if wl, err = engine.DecodeWorkload(req.Workload); err != nil {
+			s.writeError(w, badRequest(err))
+			return
+		}
+	}
+	key := engine.CacheKey(cfg, wl)
+	if req.Key != "" && req.Key != key {
+		// Configuration drift: the requester and this replica resolve the same
+		// documents to different canonical keys (mismatched defaults or
+		// quantisation). Refuse explicitly — answering would poison the
+		// requester's cache under its own key — and let it solve locally.
+		s.rec.Add("cluster.peer.key_mismatch", 1)
+		var body errorBody
+		body.Error.Kind = "key_mismatch"
+		body.Error.Message = fmt.Sprintf("serve: peer key %s does not match owner resolution %s (configuration drift between replicas)", req.Key, key)
+		writeJSON(w, http.StatusConflict, body)
+		return
+	}
+	s.rec.Add("cluster.peer.served", 1)
+	timeout := s.clampTimeout(req.TimeoutMs)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout+time.Second)
+	defer cancel()
+	eq, out, err := s.solve(ctx, cfg, wl, timeout, false, nil)
+	if err != nil && !(errors.Is(err, engine.ErrNotConverged) && eq != nil) {
+		s.writeError(w, err)
+		return
+	}
+	blob, err := engine.MarshalEquilibrium(eq)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	w.Header().Set(cluster.SourceHeader, string(out.source()))
+	w.Header().Set(cluster.ConvergedHeader, strconv.FormatBool(eq.Converged))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 // surrogateResponse shapes one interpolated table answer as a solve response.

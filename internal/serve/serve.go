@@ -34,6 +34,18 @@
 // breaker around engine solves fails fast with 503 once divergence/timeout
 // failures streak, and a retry budget sheds marked retries before they storm
 // the worker pool (see breaker.go).
+//
+// The cluster tier (Cluster) shards the keyspace across a fleet: a
+// consistent-hash ring over the static -peers list assigns every canonical
+// cache key an owner replica, and a replica that misses its LRU and store for
+// a key it does not own fills from the owner via POST /v1/peer/get before
+// solving cold. The owner runs the peer request through its own full ladder
+// — including singleflight and the worker pool — so every cold solve for a
+// key executes exactly once fleet-wide, no matter which replicas clients
+// spray. Converged peer answers are promoted into the local LRU with source
+// "peer"; an unreachable or slow owner degrades to a local cold solve (never
+// an error), and /readyz-gated health probing reroutes its keys to the next
+// ring member until it recovers.
 package serve
 
 import (
@@ -48,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/mec"
 	"repro/internal/obs"
@@ -129,6 +142,11 @@ type Config struct {
 	// non-empty — names a table file loaded at startup. Both unset disables
 	// the surrogate tier.
 	SurrogateTable *surrogate.Table
+	// Cluster configures the sharded-fleet tier: the static member list
+	// (including this replica's own advertised URL), the ring geometry and
+	// the peer-fill/probe timeouts. The zero value runs a single replica with
+	// no peer tier.
+	Cluster cluster.Config
 }
 
 // withDefaults fills the zero fields.
@@ -177,6 +195,7 @@ type Server struct {
 	cache     *engine.Cache
 	store     *store.Store     // nil when CacheDir is unset
 	surrogate *surrogate.Table // nil when the tier-0 table is disabled
+	cluster   *cluster.Cluster // nil when the fleet tier is disabled
 	breaker   *breaker
 	retries   *retryBudget
 
@@ -235,6 +254,19 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: load surrogate table: %w", err)
 		}
 	}
+	var fleet *cluster.Cluster
+	if cfg.Cluster.Enabled() {
+		ccfg := cfg.Cluster
+		if ccfg.Obs == nil {
+			ccfg.Obs = cfg.Obs
+		}
+		if fleet, err = cluster.New(ccfg); err != nil {
+			if disk != nil {
+				_ = disk.Close()
+			}
+			return nil, err
+		}
+	}
 	epochSlots := cfg.Workers / 2
 	if epochSlots < 1 {
 		epochSlots = 1
@@ -246,6 +278,7 @@ func New(cfg Config) (*Server, error) {
 		cache:      cache,
 		store:      disk,
 		surrogate:  tab,
+		cluster:    fleet,
 		breaker:    newBreaker(cfg.Breaker, cfg.Obs),
 		retries:    newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 		jobs:       make(chan *flight, cfg.QueueDepth),
@@ -293,6 +326,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
+	if s.cluster != nil {
+		s.cluster.Start()
+	}
 	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -327,6 +363,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // stop closes the solver pool, flushes the disk tier and releases the life
 // context. Serve calls it exactly once.
 func (s *Server) stop() {
+	if s.cluster != nil {
+		s.cluster.Stop()
+	}
 	close(s.jobs)
 	s.workerWG.Wait()
 	if s.store != nil {
@@ -370,17 +409,21 @@ type solveOutcome struct {
 	SurrogateHit bool
 	CacheHit     bool
 	StoreHit     bool
+	PeerHit      bool
 	Coalesced    bool
 	SolveTime    time.Duration
 }
 
-// solve answers one equilibrium query through the cache → store →
+// solve answers one equilibrium query through the cache → store → peer →
 // singleflight → worker-pool ladder. cfg must already be validated; ctx bounds
 // only this caller's wait (the solve itself runs under the flight's own
 // deadline so one impatient client cannot poison the shared result). isRetry
 // marks a client-declared retry, which must pass the retry budget before it
-// may start a fresh solve (cache, store and coalesced answers stay free).
-func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload, timeout time.Duration, isRetry bool) (*engine.Equilibrium, solveOutcome, error) {
+// may start a fresh solve (cache, store, peer and coalesced answers stay
+// free). docs carries the original client request documents for peer
+// forwarding; nil disables the cluster tier for this call — peer-originated
+// requests pass nil so a fill is answered locally and never re-forwarded.
+func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload, timeout time.Duration, isRetry bool, docs *cluster.PeerRequest) (*engine.Equilibrium, solveOutcome, error) {
 	tr := obs.ReqTraceFrom(ctx)
 	key := engine.CacheKey(cfg, w)
 	lookupStart := time.Now()
@@ -393,6 +436,19 @@ func (s *Server) solve(ctx context.Context, cfg engine.Config, w engine.Workload
 	}
 	if eq, ok := s.storeGet(key, tr); ok {
 		return eq, solveOutcome{StoreHit: true}, nil
+	}
+	if s.cluster != nil && docs != nil {
+		if owner, self := s.cluster.Owner(key); self {
+			s.rec.Add("cluster.owned", 1)
+		} else {
+			s.rec.Add("cluster.forwarded", 1)
+			if eq, ok := s.peerFill(ctx, owner, key, *docs, timeout, tr); ok {
+				return eq, solveOutcome{PeerHit: true}, nil
+			}
+			// The owner could not answer (down, slow, drifted, or returned
+			// garbage): degrade to a local cold solve below — availability
+			// beats perfect fleet-wide dedup.
+		}
 	}
 
 	s.mu.Lock()
@@ -474,6 +530,32 @@ func (s *Server) storeGet(key string, tr *obs.ReqTrace) (*engine.Equilibrium, bo
 		return nil, false
 	}
 	s.cache.Put(s.rec, key, eq)
+	return eq, true
+}
+
+// peerFill asks the key's ring owner for the equilibrium via /v1/peer/get.
+// Returns ok=false on any failure — timeout, refusal, decode error, or a nil
+// blob — in which case the caller degrades to its local solve ladder; a peer
+// problem must never surface as a client-visible error. Only converged
+// answers are promoted into the local LRU: a non-converged partial is served
+// to the client that asked (matching local ladder semantics) but caching it
+// would replay an unconverged fixed point to every future repeat.
+func (s *Server) peerFill(ctx context.Context, owner, key string, preq cluster.PeerRequest, timeout time.Duration, tr *obs.ReqTrace) (*engine.Equilibrium, bool) {
+	preq.Key = key
+	preq.TimeoutMs = timeout.Milliseconds()
+	start := time.Now()
+	eq, _, err := s.cluster.Fetch(ctx, owner, preq)
+	dur := time.Since(start)
+	s.rec.Observe("cluster.peer.seconds", dur.Seconds())
+	tr.Observe("peer_fill", dur)
+	if err != nil || eq == nil {
+		s.rec.Add("cluster.peer_miss", 1)
+		return nil, false
+	}
+	s.rec.Add("cluster.peer_hit", 1)
+	if eq.Converged {
+		s.cache.Put(s.rec, key, eq)
+	}
 	return eq, true
 }
 

@@ -16,6 +16,9 @@ const (
 	// SourceStore: answered by the persistent disk tier (and promoted into
 	// the LRU on the way out).
 	SourceStore Source = "store"
+	// SourcePeer: filled from the key's ring-owner replica via /v1/peer/get
+	// (and, when converged, promoted into the local LRU on the way out).
+	SourcePeer Source = "peer"
 	// SourceCoalesced: this request joined another request's in-flight solve
 	// and shares its freshly computed equilibrium.
 	SourceCoalesced Source = "coalesced"
@@ -35,6 +38,8 @@ func (s Source) LegacyCacheHeader() string {
 		return "hit"
 	case SourceStore:
 		return "store"
+	case SourcePeer:
+		return "peer"
 	}
 	return "miss"
 }
@@ -48,6 +53,8 @@ func (out solveOutcome) source() Source {
 		return SourceCache
 	case out.StoreHit:
 		return SourceStore
+	case out.PeerHit:
+		return SourcePeer
 	case out.Coalesced:
 		return SourceCoalesced
 	}

@@ -130,7 +130,7 @@ func TestSurrogateTierFallsThrough(t *testing.T) {
 	}
 }
 
-// TestSourceLegacyHeaderMapping pins the deprecation bridge for all five
+// TestSourceLegacyHeaderMapping pins the deprecation bridge for all six
 // sources: the X-Mfgcp-Cache header is derived from the body-level enum.
 func TestSourceLegacyHeaderMapping(t *testing.T) {
 	cases := []struct {
@@ -140,6 +140,7 @@ func TestSourceLegacyHeaderMapping(t *testing.T) {
 		{SourceSurrogate, "surrogate"},
 		{SourceCache, "hit"},
 		{SourceStore, "store"},
+		{SourcePeer, "peer"},
 		{SourceCoalesced, "miss"},
 		{SourceSolve, "miss"},
 	}
@@ -155,6 +156,7 @@ func TestSourceLegacyHeaderMapping(t *testing.T) {
 		{solveOutcome{SurrogateHit: true}, SourceSurrogate},
 		{solveOutcome{CacheHit: true}, SourceCache},
 		{solveOutcome{StoreHit: true}, SourceStore},
+		{solveOutcome{PeerHit: true}, SourcePeer},
 		{solveOutcome{Coalesced: true}, SourceCoalesced},
 		{solveOutcome{}, SourceSolve},
 	}
